@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper; the
+physics run backing them is shared (session scope) so the suite
+measures the pricing/analysis pipelines, not repeated simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def trace():
+    from repro.experiments.workload import reference_trace
+
+    return reference_trace()
+
+
+@pytest.fixture(scope="session")
+def codebase_root(tmp_path_factory):
+    from repro.core.codebase import generate_codebase
+
+    root = tmp_path_factory.mktemp("crkhacc-bench") / "src"
+    generate_codebase(root)
+    return root

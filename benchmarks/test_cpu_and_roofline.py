@@ -1,0 +1,36 @@
+"""Benchmarks: the Section 7.3 CPU study and the roofline analysis."""
+
+import pytest
+
+from repro.machine.cpu import CPU_HOST, pp_with_cpu
+from repro.machine.registry import all_devices
+from repro.machine.roofline import format_roofline, ridge_point, roofline_for_trace
+
+
+def test_cpu_portability_outlook(benchmark, trace):
+    """Section 7.3: what PP would look like with an untuned CPU in H."""
+    result = benchmark.pedantic(pp_with_cpu, args=(trace,), rounds=1, iterations=1)
+    print(
+        f"\nPP over the three GPUs:       {result['pp_gpus']:.3f}\n"
+        f"PP with the untuned CPU added: {result['pp_with_cpu']:.3f}\n"
+        f"CPU utilisation efficiency:    {result['cpu_efficiency']:.3f}"
+    )
+    # "some additional tuning for CPUs would be required"
+    assert result["pp_with_cpu"] < result["pp_gpus"]
+    assert result["cpu_efficiency"] < 0.7
+
+
+@pytest.mark.parametrize("system", ["Aurora", "Polaris", "Frontier"])
+def test_roofline(benchmark, trace, system):
+    from repro.machine.registry import device_by_name
+
+    device = device_by_name(system)
+    points = benchmark.pedantic(
+        roofline_for_trace, args=(trace, device), rounds=1, iterations=1
+    )
+    print(f"\nridge point: {ridge_point(device):.1f} flops/byte")
+    print(format_roofline(points))
+    # the paper's premise: the hot kernels are compute-intensity bound,
+    # so variant selection (not bandwidth) decides performance
+    hydro = [p for p in points if p.kernel != "upGravSR"]
+    assert all(p.bound == "compute" for p in hydro)

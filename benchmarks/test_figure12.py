@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 12 (the cascade plot)."""
+
+import pytest
+
+from repro.core.cascade import cascade_data
+from repro.experiments import figure12
+
+
+def test_cascade_plot(benchmark, trace):
+    data = benchmark.pedantic(cascade_data, args=(trace,), rounds=1, iterations=1)
+    print("\n" + figure12.format_figure(data))
+
+    assert data.pp["CUDA"] == 0.0
+    assert data.pp["HIP"] == 0.0
+    assert data.pp["vISA"] == 0.0
+    assert data.pp["SYCL (Broadcast)"] == pytest.approx(0.44, abs=0.07)
+    assert data.pp["SYCL (Memory, Object)"] == pytest.approx(0.79, abs=0.07)
+    assert data.pp["SYCL (Select + Memory)"] == pytest.approx(0.91, abs=0.05)
+    assert data.pp["SYCL (Select + vISA)"] == pytest.approx(0.96, abs=0.04)
+    assert data.pp["Unified"] == pytest.approx(0.90, abs=0.05)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 13 (the navigation chart)."""
+
+from repro.experiments import figure13
+
+
+def test_navigation_chart(benchmark, trace, codebase_root):
+    points = benchmark.pedantic(
+        figure13.generate,
+        args=(trace,),
+        kwargs={"codebase_root": codebase_root},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + figure13.format_figure(points))
+    by = {p.name: p for p in points}
+
+    # the specialised SYCL variants sit at convergence ~1.0
+    assert by["SYCL (Select + Memory)"].code_convergence > 0.999
+    assert by["SYCL (Select + vISA)"].code_convergence > 0.995
+    # the Unified configuration is the only significantly diverged one
+    assert by["Unified"].code_convergence < 0.9
+    # Select + vISA is the closest point to the (1, 1) ideal
+    assert points[0].name == "SYCL (Select + vISA)"

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 2 (initial vs optimized GPU time)."""
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, trace):
+    bars = benchmark.pedantic(
+        figure2.generate, args=(trace,), rounds=1, iterations=1
+    )
+    print("\n" + figure2.format_figure(bars))
+    checks = figure2.headline_checks(bars)
+    for name, value in checks.items():
+        print(f"{name}: {value:.2f}")
+    # the figure's shape: SYCL beats default CUDA/HIP; fast math closes
+    # the gap; the Aurora optimization factor is in the paper's range
+    assert checks["cuda_over_sycl_initial"] > 1.15
+    assert checks["hip_over_sycl_initial"] > 1.15
+    assert 1.0 <= checks["cuda_fast_over_sycl"] < 1.06
+    assert 2.0 < checks["aurora_optimization_factor"] < 4.0

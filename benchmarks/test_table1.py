@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (hardware configuration)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.generate)
+    print("\n" + table1.format_table(rows))
+    by = {r["system"]: r for r in rows}
+    assert by["Aurora"]["fp32_peak_per_gpu_tflops"] == 45.9
+    assert by["Polaris"]["fp32_peak_per_gpu_tflops"] == 19.5
+    assert by["Frontier"]["fp32_peak_per_gpu_tflops"] == 53.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (SLOC breakdown)."""
+
+from repro.core.codebase import PAPER_TABLE2, analyze_model, table2_rows
+from repro.experiments import table2
+
+
+def test_table2(benchmark, codebase_root):
+    def regenerate():
+        return table2_rows(analyze_model(codebase_root))
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + table2.format_table(rows))
+    by = {r["implementations"]: r["sloc"] for r in rows}
+    for label, sloc in PAPER_TABLE2.items():
+        assert by[label] == sloc, label
+    assert by["Total"] == 85_179

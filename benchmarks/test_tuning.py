@@ -1,0 +1,20 @@
+"""Benchmark: the per-kernel auto-tuner (Section 5.2's future work)."""
+
+import pytest
+
+from repro.kernels.tuning import autotune, tuning_table
+from repro.machine.registry import AURORA, FRONTIER, POLARIS, device_by_name
+
+
+@pytest.mark.parametrize("system", ["Aurora", "Polaris", "Frontier"])
+def test_autotune(benchmark, trace, system):
+    device = device_by_name(system)
+    result = benchmark.pedantic(autotune, args=(trace, device), rounds=1, iterations=1)
+    print("\n" + tuning_table(result))
+    assert result.speedup >= 1.0
+    if system == "Aurora":
+        # the out-of-box configuration leaves the most on the table
+        assert result.speedup > 2.0
+    else:
+        # select at the native sub-group size is already near-optimal
+        assert result.speedup < 1.3

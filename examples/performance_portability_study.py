@@ -1,0 +1,47 @@
+"""The full performance-portability study: Figures 2, 9-13 + Table 2.
+
+Reproduces the paper's evaluation section end to end: one physics run,
+priced under every configuration of Figure 12, joined with the
+codebase model's convergence values for the Figure 13 navigation
+chart, with Table 2 regenerated from the same model.
+
+Run:  python examples/performance_portability_study.py
+"""
+
+from repro.experiments.runner import run_all
+
+
+def main() -> None:
+    results = run_all(verbose=True)
+
+    # a compact executive summary, in the paper's own terms
+    cascade = results["figure12"]
+    print("=" * 72)
+    print("Summary (paper's headline claims):")
+    print(
+        f"  - Specialised SYCL (Select + vISA):   "
+        f"PP = {cascade.pp['SYCL (Select + vISA)']:.2f}  (paper: 0.96)"
+    )
+    print(
+        f"  - Specialised SYCL (Select + Memory): "
+        f"PP = {cascade.pp['SYCL (Select + Memory)']:.2f}  (paper: 0.91)"
+    )
+    print(
+        f"  - Unified CUDA/HIP + SYCL:            "
+        f"PP = {cascade.pp['Unified']:.2f}  (paper: 0.90)"
+    )
+    checks = results["figure2_checks"]
+    print(
+        f"  - Aurora optimization factor:          "
+        f"{checks['aurora_optimization_factor']:.1f}x  (paper: 2.4x)"
+    )
+    points = {p.name: p for p in results["figure13"]}
+    print(
+        f"  - Select/Memory specialisation keeps convergence at "
+        f"{points['SYCL (Select + Memory)'].code_convergence:.4f} "
+        "(19 lines of divergence)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: a reproduction of "A Performance-Portable SYCL Implementation
+of CRK-HACC for Exascale" (SC 2023).
+
+The package is organised by the layers of the paper's study:
+
+- :mod:`repro.hacc` -- the CRK-HACC mini-app (CRK-SPH hydrodynamics +
+  gravity, two particle species, simulated MPI decomposition),
+- :mod:`repro.machine` -- virtual-GPU performance models of the three
+  test systems (Aurora, Polaris, Frontier),
+- :mod:`repro.proglang` -- programming-model layer (CUDA / HIP / SYCL /
+  inline vISA availability, compilation, sub-group intrinsics),
+- :mod:`repro.kernels` -- the five hot kernels under the five
+  communication variants of Section 5,
+- :mod:`repro.migrate` -- the SYCLomatic-style CUDA->SYCL migration
+  pipeline of Section 4,
+- :mod:`repro.core` -- the P3 analysis library (performance
+  portability, code divergence, cascade/navigation charts, Table 2),
+- :mod:`repro.experiments` -- regenerators for every table and figure
+  of the paper's evaluation,
+- :mod:`repro.timers` -- MPI_wtime-style bracket timers.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.metrics import performance_portability
+from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+from repro.kernels.adiabatic import price_trace
+from repro.machine.registry import AURORA, FRONTIER, POLARIS, all_devices
+
+__all__ = [
+    "__version__",
+    "performance_portability",
+    "AdiabaticDriver",
+    "SimulationConfig",
+    "price_trace",
+    "AURORA",
+    "POLARIS",
+    "FRONTIER",
+    "all_devices",
+]

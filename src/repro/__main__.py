@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``simulate``   run the mini-app and print per-step diagnostics
+``price``      price the reference workload on a device/model/variant
+``tune``       auto-tune per-kernel configurations on a device
+``migrate``    run the CUDA->SYCL pipeline over the bundled kernels
+``report``     regenerate the full reproduction report (markdown)
+``figures``    print every table and figure (the experiments runner)
+``export``     write every artefact to one JSON document
+``validate``   run the mini-app and audit its invariants
+``roofline``   roofline positions of the hot kernels on a device
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+
+    config = SimulationConfig(
+        n_per_side=args.n, pm_mesh=max(8, args.n), n_steps=args.steps
+    )
+    print(
+        f"2x {args.n}^3 particles, box {config.box:.2f} Mpc/h, "
+        f"{args.steps} steps z={config.z_initial:.0f} -> {config.z_final:.0f}"
+    )
+    driver = AdiabaticDriver(config)
+    for diag in driver.run():
+        print(
+            f"a={diag.a:.5f}  KE={diag.kinetic_energy:.4e}  "
+            f"thermal={diag.thermal_energy:.4e}  "
+            f"max_delta={diag.max_density_contrast:.2f}"
+        )
+    print(f"kernel launches recorded: {len(driver.trace.invocations)}")
+    return 0
+
+
+def _cmd_price(args: argparse.Namespace) -> int:
+    from repro.experiments.workload import reference_trace
+    from repro.kernels.adiabatic import price_trace
+    from repro.machine.registry import device_by_name
+    from repro.proglang.model import CompileError, ProgrammingModel
+
+    device = device_by_name(args.device)
+    model = ProgrammingModel(args.model)
+    try:
+        report = price_trace(
+            reference_trace(args.n), device, model, args.variant
+        )
+    except CompileError as exc:
+        print(f"does not compile: {exc}", file=sys.stderr)
+        return 1
+    for timer, seconds in sorted(
+        report.seconds_by_timer.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"{timer:12s} {seconds * 1e6:10.1f} us")
+    print(f"{'total':12s} {report.total_seconds * 1e6:10.1f} us")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.experiments.workload import reference_trace
+    from repro.kernels.tuning import autotune, tuning_table
+    from repro.machine.registry import device_by_name
+
+    result = autotune(reference_trace(args.n), device_by_name(args.device))
+    print(tuning_table(result))
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.migrate.pipeline import MigrationPipeline, bundled_kernel_sources
+    from repro.migrate.stats import bundled_migration_stats, format_stats
+
+    pipeline = MigrationPipeline(optimize=not args.no_optimize)
+    results = pipeline.run_directory(bundled_kernel_sources())
+    for name, result in sorted(results.items()):
+        diag = "; ".join(d.code for d in result.diagnostics) or "clean"
+        print(f"{name:14s} -> {', '.join(result.kernel_names)}  [{diag}]")
+    print()
+    print(format_stats(bundled_migration_stats(optimize=not args.no_optimize)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import generate_report
+    from repro.experiments.workload import reference_trace
+
+    report = generate_report(reference_trace(args.n))
+    if args.output:
+        path = report.save(args.output)
+        print(f"report written to {path}")
+    else:
+        print(report.markdown)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(verbose=True)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_all
+    from repro.experiments.workload import reference_trace
+
+    path = export_all(reference_trace(args.n), args.output)
+    print(f"artifacts written to {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+    from repro.hacc.validation import validate_run
+
+    driver = AdiabaticDriver(
+        SimulationConfig(n_per_side=args.n, pm_mesh=max(8, args.n), n_steps=args.steps)
+    )
+    driver.run()
+    report = validate_run(driver)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from repro.experiments.workload import reference_trace
+    from repro.machine.registry import device_by_name
+    from repro.machine.roofline import format_roofline, roofline_for_trace
+
+    device = device_by_name(args.device)
+    points = roofline_for_trace(reference_trace(args.n), device, args.variant)
+    print(f"Roofline on {device.system} (ridge at {points[0].ridge_point:.1f} F/B)")
+    print(format_roofline(points))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run the mini-app")
+    p.add_argument("-n", type=int, default=8, help="particles per side (2x n^3)")
+    p.add_argument("--steps", type=int, default=5)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("price", help="price the reference workload")
+    p.add_argument("device", help="Aurora | Polaris | Frontier")
+    p.add_argument("--model", default="sycl", help="cuda | hip | sycl | sycl+visa")
+    p.add_argument(
+        "--variant",
+        default="select",
+        help="select | memory32 | memory_object | broadcast | visa",
+    )
+    p.add_argument("-n", type=int, default=8)
+    p.set_defaults(func=_cmd_price)
+
+    p = sub.add_parser("tune", help="auto-tune kernels on a device")
+    p.add_argument("device")
+    p.add_argument("-n", type=int, default=8)
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("migrate", help="run the CUDA->SYCL pipeline")
+    p.add_argument("--no-optimize", action="store_true")
+    p.set_defaults(func=_cmd_migrate)
+
+    p = sub.add_parser("report", help="regenerate the full report")
+    p.add_argument("-o", "--output", help="write markdown to this path")
+    p.add_argument("-n", type=int, default=8)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("figures", help="print every table and figure")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("export", help="write artefacts to JSON")
+    p.add_argument("-o", "--output", default="artifacts.json")
+    p.add_argument("-n", type=int, default=8)
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("validate", help="run and audit invariants")
+    p.add_argument("-n", type=int, default=6)
+    p.add_argument("--steps", type=int, default=2)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("roofline", help="roofline positions on a device")
+    p.add_argument("device")
+    p.add_argument("--variant", default="select")
+    p.add_argument("-n", type=int, default=8)
+    p.set_defaults(func=_cmd_roofline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

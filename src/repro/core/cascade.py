@@ -1,0 +1,120 @@
+"""Cascade-plot data (Figure 12).
+
+A cascade plot shows, for each application configuration, its
+application efficiency on every platform (sorted best-first) together
+with the running performance-portability value; configurations that
+miss a platform fall to PP = 0.  This module computes the underlying
+numbers from a workload trace; plotting is left to the caller (the
+benchmark harness prints the same rows the figure encodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import application_efficiency, performance_portability
+from repro.core.specialization import Configuration, standard_configurations
+from repro.hacc.timestep import WorkloadTrace
+from repro.machine.registry import all_devices
+
+
+@dataclass
+class CascadeData:
+    """Per-configuration efficiencies and PP across the platform set."""
+
+    platforms: list[str]
+    #: configuration -> platform -> application efficiency (0 = did not run)
+    efficiencies: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: configuration -> PP
+    pp: dict[str, float] = field(default_factory=dict)
+    #: platform -> timer -> best observed seconds (the yardstick)
+    best_times: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: configuration -> platform -> total seconds (None = did not run)
+    totals: dict[str, dict[str, float | None]] = field(default_factory=dict)
+
+    def sorted_series(self, config: str) -> list[tuple[str, float]]:
+        """(platform, efficiency) pairs sorted best-first -- the cascade
+        ordering used when drawing the figure."""
+        effs = self.efficiencies[config]
+        return sorted(effs.items(), key=lambda kv: kv[1], reverse=True)
+
+    def rows(self) -> list[dict]:
+        """Flat rows for printing/regression (one per configuration)."""
+        out = []
+        for config in self.efficiencies:
+            row = {"configuration": config, "PP": round(self.pp[config], 3)}
+            for platform in self.platforms:
+                row[f"eff:{platform}"] = round(
+                    self.efficiencies[config][platform], 3
+                )
+            out.append(row)
+        return out
+
+
+def cascade_data(
+    trace: WorkloadTrace,
+    configurations: list[Configuration] | None = None,
+    *,
+    hotspots_only: bool = False,
+) -> CascadeData:
+    """Compute Figure 12's data from a workload trace.
+
+    The efficiency yardstick is per-kernel best across *all* evaluated
+    configurations on each platform ("irrespective of source language
+    or compiler"), exactly as the paper defines it.
+    """
+    configurations = configurations or standard_configurations()
+    devices = all_devices()
+    data = CascadeData(platforms=[d.system for d in devices])
+
+    # price every configuration on every platform
+    reports: dict[str, dict[str, object]] = {}
+    for config in configurations:
+        reports[config.name] = {}
+        for device in devices:
+            reports[config.name][device.system] = config.price(trace, device)
+
+    timer_filter = None
+    if hotspots_only:
+        from repro.kernels.specs import HOTSPOT_TIMERS
+
+        timer_filter = set(HOTSPOT_TIMERS)
+
+    def total_of(report) -> float:
+        if timer_filter is None:
+            return report.total_seconds
+        return sum(
+            s for t, s in report.seconds_by_timer.items() if t in timer_filter
+        )
+
+    # the hypothetical best application: per-kernel minimum on each platform
+    for device in devices:
+        best: dict[str, float] = {}
+        for config in configurations:
+            report = reports[config.name][device.system]
+            if report is None:
+                continue
+            for timer, seconds in report.seconds_by_timer.items():
+                if timer_filter is not None and timer not in timer_filter:
+                    continue
+                if timer not in best or seconds < best[timer]:
+                    best[timer] = seconds
+        data.best_times[device.system] = best
+
+    for config in configurations:
+        effs: dict[str, float] = {}
+        totals: dict[str, float | None] = {}
+        for device in devices:
+            report = reports[config.name][device.system]
+            if report is None:
+                effs[device.system] = 0.0
+                totals[device.system] = None
+                continue
+            observed = total_of(report)
+            best_total = sum(data.best_times[device.system].values())
+            effs[device.system] = application_efficiency(observed, best_total)
+            totals[device.system] = observed
+        data.efficiencies[config.name] = effs
+        data.totals[config.name] = totals
+        data.pp[config.name] = performance_portability(effs)
+    return data

@@ -1,0 +1,76 @@
+"""Text-art renderings of the paper's two signature charts.
+
+The benchmark harness prints data rows; these renderers additionally
+draw the *shapes* -- the cascade plot's descending efficiency runs per
+configuration (Figure 12) and the navigation chart's scatter toward
+the (1, 1) ideal corner (Figure 13) -- in plain text, so the figures
+are legible straight from a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from repro.core.cascade import CascadeData
+from repro.core.navigation import NavigationPoint
+
+#: glyph per platform, used in the cascade rendering
+_PLATFORM_GLYPHS = {"Aurora": "A", "Polaris": "P", "Frontier": "F"}
+
+
+def render_cascade(data: CascadeData, width: int = 50) -> str:
+    """ASCII cascade plot: one row per configuration.
+
+    Each row draws the platforms at their application-efficiency
+    positions (best first, the cascade ordering) on a 0..1 axis, with
+    the PP value marked by ``|``.
+    """
+    if width < 20:
+        raise ValueError("width too small to render")
+    lines = [
+        "Cascade plot (A=Aurora, P=Polaris, F=Frontier, |=PP)",
+        " " * 28 + "0" + " " * (width - 2) + "1",
+    ]
+    order = sorted(data.pp, key=data.pp.get, reverse=True)
+    for config in order:
+        axis = [" "] * width
+        for platform, eff in data.sorted_series(config):
+            pos = min(width - 1, int(round(eff * (width - 1))))
+            glyph = _PLATFORM_GLYPHS.get(platform, platform[0])
+            axis[pos] = glyph if axis[pos] == " " else "*"
+        pp = data.pp[config]
+        pp_pos = min(width - 1, int(round(pp * (width - 1))))
+        if axis[pp_pos] == " ":
+            axis[pp_pos] = "|"
+        lines.append(f"{config:<26} [{''.join(axis)}] PP={pp:.2f}")
+    return "\n".join(lines)
+
+
+def render_navigation(
+    points: list[NavigationPoint], width: int = 56, height: int = 12
+) -> str:
+    """ASCII navigation chart: PP (y) vs code convergence (x).
+
+    The ideal application sits at the top-right corner; each point is
+    labelled by an index into the printed legend.
+    """
+    if width < 20 or height < 6:
+        raise ValueError("chart too small to render")
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, p in enumerate(points, start=1):
+        x = min(width - 1, int(round(p.code_convergence * (width - 1))))
+        y = min(height - 1, int(round(p.performance_portability * (height - 1))))
+        row = height - 1 - y  # y grows upward
+        label = str(idx) if idx < 10 else "#"
+        grid[row][x] = label if grid[row][x] == " " else "*"
+        legend.append(
+            f"  {idx}: {p.name} (PP={p.performance_portability:.2f}, "
+            f"conv={p.code_convergence:.3f})"
+        )
+    lines = ["Navigation chart (ideal = top-right)", "PP"]
+    for row_idx, row in enumerate(grid):
+        y_label = "1.0" if row_idx == 0 else ("0.0" if row_idx == height - 1 else "   ")
+        lines.append(f"{y_label} |{''.join(row)}|")
+    lines.append("     " + "-" * width)
+    lines.append("     0" + " " * (width - 12) + "convergence 1")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Navigation-chart data (Figure 13).
+
+The navigation chart plots performance portability against *code
+convergence* (1 - code divergence): the ideal application sits at
+(1, 1) -- fully portable performance from a fully shared source base.
+The paper's specialised SYCL variants sit near convergence 1.0 (the
+select and local-memory variants differ by only 19 lines; vISA adds
+226), while the Unified CUDA/HIP+SYCL configuration drops to ~0.83
+because every kernel exists twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cascade import CascadeData
+
+
+@dataclass(frozen=True)
+class NavigationPoint:
+    """One configuration's position on the navigation chart."""
+
+    name: str
+    performance_portability: float
+    code_convergence: float
+
+    @property
+    def distance_to_ideal(self) -> float:
+        """Euclidean distance to the (1, 1) corner."""
+        dp = 1.0 - self.performance_portability
+        dc = 1.0 - self.code_convergence
+        return (dp * dp + dc * dc) ** 0.5
+
+
+def navigation_data(
+    cascade: CascadeData, convergence: dict[str, float]
+) -> list[NavigationPoint]:
+    """Join cascade PP values with per-configuration code convergence.
+
+    ``convergence`` maps configuration name -> convergence in [0, 1]
+    (produced by :mod:`repro.core.sloc` over the codebase model).
+    Configurations without a convergence entry are skipped (e.g. the
+    hypothetical Best application, which has no single source base).
+    """
+    points = []
+    for name, pp in cascade.pp.items():
+        if name not in convergence:
+            continue
+        conv = convergence[name]
+        if not 0.0 <= conv <= 1.0:
+            raise ValueError(f"convergence {conv} outside [0, 1] for {name!r}")
+        points.append(
+            NavigationPoint(
+                name=name,
+                performance_portability=pp,
+                code_convergence=conv,
+            )
+        )
+    points.sort(key=lambda p: p.distance_to_ideal)
+    return points

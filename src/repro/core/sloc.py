@@ -1,0 +1,311 @@
+"""Preprocessor-aware SLOC analysis (Code Base Investigator substitute).
+
+The paper quantifies specialization with source-line *sets*: for each
+build configuration (a set of preprocessor defines), which lines of
+the codebase are compiled?  Set algebra over those per-configuration
+line sets yields Table 2's breakdown and the code-divergence metric's
+inputs (Section 6.2).
+
+This module implements the analysis for C-preprocessor-guarded
+sources: ``#if`` / ``#ifdef`` / ``#ifndef`` / ``#elif`` / ``#else`` /
+``#endif`` with conditions over ``defined(X)``, ``!``, ``&&``, ``||``
+and parentheses.  SLOC excludes blank lines, comments and the
+preprocessor directives themselves, matching the paper's convention
+("excluding whitespace and comments").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+Line = tuple[str, int]  # (relative path, 1-based line number)
+
+
+# ---------------------------------------------------------------------------
+# Condition expressions
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"\s*(defined\s*\(\s*\w+\s*\)|&&|\|\||!|\(|\)|\w+)"
+)
+
+
+class ConditionError(ValueError):
+    """Raised for malformed preprocessor conditions."""
+
+
+def _tokenize(condition: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(condition):
+        m = _TOKEN_RE.match(condition, pos)
+        if not m:
+            rest = condition[pos:].strip()
+            if not rest:
+                break
+            raise ConditionError(f"cannot tokenize condition at: {rest!r}")
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+class _ConditionParser:
+    """Recursive-descent parser for guard conditions.
+
+    Grammar:  or := and ('||' and)*
+              and := unary ('&&' unary)*
+              unary := '!' unary | '(' or ')' | defined(X) | NAME | 0 | 1
+    Bare names evaluate like ``defined(NAME)`` except for integer
+    literals (``#if 0`` / ``#if 1``), which is all the codebase model
+    needs.
+    """
+
+    def __init__(self, tokens: list[str], defines: frozenset[str]):
+        self.tokens = tokens
+        self.pos = 0
+        self.defines = defines
+
+    def parse(self) -> bool:
+        value = self._or()
+        if self.pos != len(self.tokens):
+            raise ConditionError(
+                f"trailing tokens in condition: {self.tokens[self.pos:]}"
+            )
+        return value
+
+    def _peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ConditionError("unexpected end of condition")
+        self.pos += 1
+        return token
+
+    def _or(self) -> bool:
+        value = self._and()
+        while self._peek() == "||":
+            self._next()
+            rhs = self._and()
+            value = value or rhs
+        return value
+
+    def _and(self) -> bool:
+        value = self._unary()
+        while self._peek() == "&&":
+            self._next()
+            rhs = self._unary()
+            value = value and rhs
+        return value
+
+    def _unary(self) -> bool:
+        token = self._next()
+        if token == "!":
+            return not self._unary()
+        if token == "(":
+            value = self._or()
+            if self._next() != ")":
+                raise ConditionError("unbalanced parentheses")
+            return value
+        m = re.fullmatch(r"defined\s*\(\s*(\w+)\s*\)", token)
+        if m:
+            return m.group(1) in self.defines
+        if token.isdigit():
+            return int(token) != 0
+        if re.fullmatch(r"\w+", token):
+            return token in self.defines
+        raise ConditionError(f"unexpected token {token!r}")
+
+
+def evaluate_condition(condition: str, defines: frozenset[str]) -> bool:
+    """Evaluate a guard condition under a define set."""
+    return _ConditionParser(_tokenize(condition), defines).parse()
+
+
+# ---------------------------------------------------------------------------
+# File analysis
+# ---------------------------------------------------------------------------
+_DIRECTIVE_RE = re.compile(r"^\s*#\s*(if|ifdef|ifndef|elif|else|endif)\b(.*)$")
+
+
+def _strip_comments(text: str) -> list[str]:
+    """Remove // and /* */ comments, preserving line structure."""
+    out = []
+    in_block = False
+    for line in text.splitlines():
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                start_block = line.find("/*", i)
+                start_line = line.find("//", i)
+                if start_line != -1 and (start_block == -1 or start_line < start_block):
+                    result.append(line[i:start_line])
+                    i = len(line)
+                elif start_block != -1:
+                    result.append(line[i:start_block])
+                    in_block = True
+                    i = start_block + 2
+                else:
+                    result.append(line[i:])
+                    i = len(line)
+        out.append("".join(result))
+    return out
+
+
+@dataclass
+class _Frame:
+    """One open #if level during the scan."""
+
+    parent_active: bool
+    taken: bool        # has any branch of this level been taken?
+    active: bool       # is the current branch active?
+
+
+def compiled_lines(
+    path: Path, defines: frozenset[str], *, relative_to: Path | None = None
+) -> set[Line]:
+    """The SLOC (as (file, line) pairs) compiled under ``defines``."""
+    text = path.read_text()
+    rel = str(path.relative_to(relative_to)) if relative_to else str(path)
+    lines = _strip_comments(text)
+    out: set[Line] = set()
+    stack: list[_Frame] = []
+
+    def currently_active() -> bool:
+        return all(f.active for f in stack)
+
+    for lineno, line in enumerate(lines, start=1):
+        m = _DIRECTIVE_RE.match(line)
+        if m:
+            directive, rest = m.group(1), m.group(2).strip()
+            if directive in ("if", "ifdef", "ifndef"):
+                parent = currently_active()
+                if directive == "if":
+                    value = evaluate_condition(rest, defines) if parent else False
+                elif directive == "ifdef":
+                    value = rest.split()[0] in defines if parent else False
+                else:
+                    value = rest.split()[0] not in defines if parent else False
+                stack.append(_Frame(parent_active=parent, taken=value, active=value))
+            elif directive == "elif":
+                if not stack:
+                    raise ConditionError(f"{rel}:{lineno}: #elif without #if")
+                frame = stack[-1]
+                if frame.parent_active and not frame.taken:
+                    value = evaluate_condition(rest, defines)
+                    frame.active = value
+                    frame.taken = frame.taken or value
+                else:
+                    frame.active = False
+            elif directive == "else":
+                if not stack:
+                    raise ConditionError(f"{rel}:{lineno}: #else without #if")
+                frame = stack[-1]
+                frame.active = frame.parent_active and not frame.taken
+                frame.taken = True
+            elif directive == "endif":
+                if not stack:
+                    raise ConditionError(f"{rel}:{lineno}: #endif without #if")
+                stack.pop()
+            continue
+        if not line.strip():
+            continue  # blank / comment-only
+        if currently_active():
+            out.add((rel, lineno))
+    if stack:
+        raise ConditionError(f"{rel}: unterminated #if block")
+    return out
+
+
+def total_sloc(path: Path, *, relative_to: Path | None = None) -> set[Line]:
+    """All SLOC in a file regardless of guards (directives excluded)."""
+    text = path.read_text()
+    rel = str(path.relative_to(relative_to)) if relative_to else str(path)
+    out: set[Line] = set()
+    for lineno, line in enumerate(_strip_comments(text), start=1):
+        if _DIRECTIVE_RE.match(line):
+            continue
+        if line.strip():
+            out.add((rel, lineno))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Codebase-level analysis
+# ---------------------------------------------------------------------------
+SOURCE_SUFFIXES = (".c", ".cc", ".cpp", ".cu", ".h", ".hpp", ".cxx")
+
+
+@dataclass
+class CodebaseAnalysis:
+    """Per-configuration line sets over a source tree."""
+
+    root: Path
+    #: configuration name -> set of (file, line)
+    config_lines: dict[str, set[Line]] = field(default_factory=dict)
+    #: every SLOC in the tree
+    all_lines: set[Line] = field(default_factory=set)
+
+    def used_lines(self) -> set[Line]:
+        """Lines compiled by at least one configuration."""
+        used: set[Line] = set()
+        for lines in self.config_lines.values():
+            used |= lines
+        return used
+
+    def unused_lines(self) -> set[Line]:
+        return self.all_lines - self.used_lines()
+
+    def region(self, members: set[str]) -> set[Line]:
+        """Lines compiled by exactly the configurations in ``members``."""
+        inside = None
+        for name in members:
+            lines = self.config_lines[name]
+            inside = lines.copy() if inside is None else (inside & lines)
+        if inside is None:
+            return self.unused_lines()
+        for name, lines in self.config_lines.items():
+            if name not in members:
+                inside -= lines
+        return inside
+
+    def membership_patterns(self) -> dict[frozenset[str], set[Line]]:
+        """Group used lines by the exact configuration set using them."""
+        patterns: dict[frozenset[str], set[Line]] = {}
+        for line in self.used_lines():
+            members = frozenset(
+                name for name, lines in self.config_lines.items() if line in lines
+            )
+            patterns.setdefault(members, set()).add(line)
+        return patterns
+
+
+def analyze_codebase(
+    root: Path, configurations: dict[str, frozenset[str]]
+) -> CodebaseAnalysis:
+    """Analyze every source file under ``root``.
+
+    ``configurations`` maps configuration name -> preprocessor define
+    set (e.g. ``{"HACC_GPU_SYCL", "HACC_SYCL_SELECT"}``).
+    """
+    root = Path(root)
+    analysis = CodebaseAnalysis(root=root, config_lines={c: set() for c in configurations})
+    for path in sorted(root.rglob("*")):
+        if not path.is_file() or path.suffix not in SOURCE_SUFFIXES:
+            continue
+        analysis.all_lines |= total_sloc(path, relative_to=root)
+        for config, defines in configurations.items():
+            analysis.config_lines[config] |= compiled_lines(
+                path, defines, relative_to=root
+            )
+    return analysis

@@ -1,0 +1,23 @@
+"""Experiment regenerators: one module per table/figure of the paper.
+
+========================  ==========================================
+Module                    Paper artefact
+========================  ==========================================
+:mod:`.table1`            Table 1 (hardware configuration)
+:mod:`.figure2`           Figure 2 (initial vs optimized, fast math)
+:mod:`.figures9_11`       Figures 9-11 (variant efficiency per system)
+:mod:`.figure12`          Figure 12 (cascade plot / PP)
+:mod:`.figure13`          Figure 13 (navigation chart)
+:mod:`.table2`            Table 2 (SLOC breakdown)
+:mod:`.ablations`         Section 5.2 register sweep + exchange-size
+                          crossover (beyond-paper ablations)
+========================  ==========================================
+
+All regenerators work from a shared cached physics run
+(:func:`repro.experiments.workload.reference_trace`), so the full
+suite prices one workload many ways rather than re-simulating.
+"""
+
+from repro.experiments.workload import reference_trace, workload_config
+
+__all__ = ["reference_trace", "workload_config"]

@@ -1,0 +1,61 @@
+"""Figure 12: the cascade plot (performance portability).
+
+The paper's values, which the reproduction tracks:
+
+==========================  =====
+Configuration               PP
+==========================  =====
+CUDA                        0
+HIP                         0
+inline vISA                 0
+SYCL (Broadcast)            0.44
+SYCL (Memory, Object)       0.79
+SYCL (Select + Memory)      0.91
+SYCL (Select + vISA)        0.96
+Unified (CUDA/HIP + SYCL)   0.90
+==========================  =====
+"""
+
+from __future__ import annotations
+
+from repro.core.cascade import CascadeData, cascade_data
+from repro.experiments.workload import reference_trace
+from repro.hacc.timestep import WorkloadTrace
+
+#: paper-reported PP values (Section 6.1)
+PAPER_PP = {
+    "CUDA": 0.0,
+    "HIP": 0.0,
+    "vISA": 0.0,
+    "SYCL (Broadcast)": 0.44,
+    "SYCL (Memory, Object)": 0.79,
+    "SYCL (Select + Memory)": 0.91,
+    "SYCL (Select + vISA)": 0.96,
+    "Unified": 0.90,
+}
+
+
+def generate(trace: WorkloadTrace | None = None) -> CascadeData:
+    """Regenerate the cascade-plot data."""
+    trace = trace if trace is not None else reference_trace()
+    return cascade_data(trace)
+
+
+def format_figure(data: CascadeData | None = None) -> str:
+    data = data if data is not None else generate()
+    lines = [
+        f"{'Configuration':<26} {'PP':>6} {'paper':>6}  "
+        + "  ".join(f"{p:>8}" for p in data.platforms)
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in data.rows():
+        name = row["configuration"]
+        paper = PAPER_PP.get(name)
+        paper_s = f"{paper:.2f}" if paper is not None else "  -- "
+        effs = "  ".join(f"{row['eff:' + p]:>8.3f}" for p in data.platforms)
+        lines.append(f"{name:<26} {row['PP']:>6.3f} {paper_s:>6}  {effs}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_figure())

@@ -1,0 +1,56 @@
+"""Table 1: hardware configuration of the three test systems."""
+
+from __future__ import annotations
+
+from repro.machine.registry import table1_rows
+
+#: the paper's Table 1, for comparison in tests and EXPERIMENTS.md
+PAPER_TABLE1 = [
+    {
+        "system": "Aurora",
+        "cpu": "Intel Xeon CPU Max 9470C, 52 cores",
+        "sockets": 2,
+        "gpu": "Intel Data Center GPU Max 1550",
+        "num_gpus": 6,
+        "fp32_peak_per_gpu_tflops": 45.9,
+    },
+    {
+        "system": "Polaris",
+        "cpu": "AMD EPYC 7543P, 32 cores",
+        "sockets": 1,
+        "gpu": "NVIDIA A100-SXM4-40GB",
+        "num_gpus": 4,
+        "fp32_peak_per_gpu_tflops": 19.5,
+    },
+    {
+        "system": "Frontier",
+        "cpu": "AMD EPYC 7A53, 64 cores",
+        "sockets": 1,
+        "gpu": "AMD Instinct MI250X",
+        "num_gpus": 4,
+        "fp32_peak_per_gpu_tflops": 53.0,
+    },
+]
+
+
+def generate() -> list[dict]:
+    """Regenerate Table 1 from the device registry."""
+    return table1_rows()
+
+
+def format_table(rows: list[dict] | None = None) -> str:
+    """Human-readable rendering (what the bench harness prints)."""
+    rows = rows if rows is not None else generate()
+    header = f"{'System':<9} {'CPU':<36} {'Sockets':>7} {'GPU':<32} {'#GPUs':>5} {'FP32/GPU':>9}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['system']:<9} {r['cpu']:<36} {r['sockets']:>7} "
+            f"{r['gpu']:<32} {r['num_gpus']:>5} "
+            f"{r['fp32_peak_per_gpu_tflops']:>8.1f}T"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table())

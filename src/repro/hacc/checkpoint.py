@@ -1,0 +1,180 @@
+"""Standalone-kernel checkpoints (Section 7.2).
+
+"To facilitate rapid prototyping and analysis, we extracted CRK-HACC's
+biggest hotspots into standalone applications driven by checkpoint
+files."  This module provides exactly that workflow: a kernel's full
+input state is captured to an ``.npz`` file, and a standalone runner
+replays any of the five hot kernels from it -- the mechanism the
+paper's authors used to establish per-kernel performance upper bounds
+and to develop the Section 5 variants.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.hacc.particles import ParticleData, Species
+from repro.hacc.sph.acceleration import compute_acceleration
+from repro.hacc.sph.corrections import compute_corrections
+from repro.hacc.sph.energy import compute_energy_rate
+from repro.hacc.sph.extras import compute_extras
+from repro.hacc.sph.geometry import compute_geometry
+from repro.hacc.sph.pairs import PairContext
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class KernelCheckpoint:
+    """Input state of the hydro pipeline at one point in a run."""
+
+    box: float
+    pos: np.ndarray
+    vel: np.ndarray
+    mass: np.ndarray
+    h: np.ndarray
+    u: np.ndarray
+    volume: np.ndarray
+    rho: np.ndarray
+    pressure: np.ndarray
+    cs: np.ndarray
+
+    @classmethod
+    def capture(cls, particles: ParticleData) -> "KernelCheckpoint":
+        """Capture the gas state from a particle set."""
+        mask = particles.species_mask(Species.BARYON)
+        idx = np.nonzero(mask)[0]
+        return cls(
+            box=particles.box,
+            pos=particles.positions[idx],
+            vel=particles.velocities[idx],
+            mass=particles.mass[idx].copy(),
+            h=particles.hsml[idx].copy(),
+            u=particles.u[idx].copy(),
+            volume=particles.volume[idx].copy(),
+            rho=particles.rho[idx].copy(),
+            pressure=particles.pressure[idx].copy(),
+            cs=particles.cs[idx].copy(),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            version=FORMAT_VERSION,
+            box=self.box,
+            pos=self.pos,
+            vel=self.vel,
+            mass=self.mass,
+            h=self.h,
+            u=self.u,
+            volume=self.volume,
+            rho=self.rho,
+            pressure=self.pressure,
+            cs=self.cs,
+        )
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "KernelCheckpoint":
+        with np.load(Path(path)) as data:
+            version = int(data["version"])
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"checkpoint format {version} not supported "
+                    f"(expected {FORMAT_VERSION})"
+                )
+            return cls(
+                box=float(data["box"]),
+                pos=data["pos"],
+                vel=data["vel"],
+                mass=data["mass"],
+                h=data["h"],
+                u=data["u"],
+                volume=data["volume"],
+                rho=data["rho"],
+                pressure=data["pressure"],
+                cs=data["cs"],
+            )
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.mass)
+
+
+#: kernels runnable standalone, keyed by the paper's names
+STANDALONE_KERNELS = ("geometry", "corrections", "extras", "acceleration", "energy")
+
+
+def run_standalone(checkpoint: KernelCheckpoint, kernel: str) -> dict[str, np.ndarray]:
+    """Run one hot kernel from a checkpoint; returns its named outputs.
+
+    Upstream kernels are run as needed to build inputs (a standalone
+    Acceleration run needs the geometry and corrections state), which
+    matches how the real standalone drivers replay the pipeline prefix.
+    """
+    if kernel not in STANDALONE_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {STANDALONE_KERNELS}"
+        )
+    ctx = PairContext.build(checkpoint.pos, checkpoint.h, checkpoint.box)
+    geo = compute_geometry(ctx, checkpoint.h)
+    if kernel == "geometry":
+        return {"volume": geo.volume, "h_new": geo.h_new}
+
+    corr = compute_corrections(ctx, checkpoint.h, geo.volume)
+    if kernel == "corrections":
+        return {"a": corr.a, "b": corr.b}
+
+    extras = compute_extras(
+        ctx,
+        checkpoint.h,
+        geo.volume,
+        checkpoint.mass,
+        checkpoint.vel,
+        checkpoint.pressure,
+        corr,
+    )
+    if kernel == "extras":
+        return {
+            "rho": extras.rho,
+            "grad_rho": extras.grad_rho,
+            "div_v": extras.div_v,
+            "grad_p": extras.grad_p,
+        }
+
+    accel = compute_acceleration(
+        ctx,
+        checkpoint.h,
+        geo.volume,
+        checkpoint.mass,
+        extras.rho,
+        checkpoint.pressure,
+        checkpoint.cs,
+        checkpoint.vel,
+        corr,
+    )
+    if kernel == "acceleration":
+        return {"dv_dt": accel.dv_dt}
+
+    energy = compute_energy_rate(
+        ctx, geo.volume, checkpoint.mass, checkpoint.pressure, checkpoint.vel, accel
+    )
+    return {"du_dt": energy.du_dt}
+
+
+def checkpoint_metadata(checkpoint: KernelCheckpoint) -> str:
+    """JSON summary of a checkpoint (for experiment logs)."""
+    return json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "n_particles": checkpoint.n_particles,
+            "box": checkpoint.box,
+            "mean_h": float(checkpoint.h.mean()) if checkpoint.n_particles else 0.0,
+        },
+        indent=2,
+    )

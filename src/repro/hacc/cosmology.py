@@ -1,0 +1,137 @@
+"""FLRW background cosmology.
+
+Provides the scale-factor dynamics the time stepper needs: H(a), the
+linear growth factor D(a) for the Zel'dovich initial conditions, and
+the kick/drift integrals of the comoving KDK leapfrog.  The paper's
+test problem steps from z_i = 200 to z_f = 50 in five steps
+(Section 3.4.3); :meth:`Cosmology.step_schedule` produces exactly that
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import integrate
+
+from repro.hacc.units import H0_HUNITS
+
+
+@dataclass(frozen=True)
+class Cosmology:
+    """A flat LambdaCDM background.
+
+    Defaults approximate the WMAP-7/Planck-like parameters used across
+    the HACC simulation campaigns.
+    """
+
+    omega_m: float = 0.31
+    omega_b: float = 0.049
+    h: float = 0.68
+    sigma8: float = 0.81
+    n_s: float = 0.96
+
+    def __post_init__(self):
+        if not 0.0 < self.omega_m <= 1.0:
+            raise ValueError("omega_m must be in (0, 1]")
+        if not 0.0 <= self.omega_b < self.omega_m:
+            raise ValueError("omega_b must be in [0, omega_m)")
+
+    @property
+    def omega_l(self) -> float:
+        """Dark-energy density of the flat model."""
+        return 1.0 - self.omega_m
+
+    @property
+    def omega_cdm(self) -> float:
+        """Cold-dark-matter density (total matter minus baryons)."""
+        return self.omega_m - self.omega_b
+
+    # -- background ------------------------------------------------------
+    @staticmethod
+    def a_of_z(z: float | np.ndarray) -> float | np.ndarray:
+        """Scale factor at redshift ``z``."""
+        return 1.0 / (1.0 + np.asarray(z, dtype=float))
+
+    @staticmethod
+    def z_of_a(a: float | np.ndarray) -> float | np.ndarray:
+        """Redshift at scale factor ``a``."""
+        a = np.asarray(a, dtype=float)
+        if np.any(a <= 0):
+            raise ValueError("scale factor must be positive")
+        return 1.0 / a - 1.0
+
+    def E(self, a: float | np.ndarray) -> float | np.ndarray:
+        """Dimensionless Hubble rate H(a)/H0 for the flat model."""
+        a = np.asarray(a, dtype=float)
+        return np.sqrt(self.omega_m / a**3 + self.omega_l)
+
+    def H(self, a: float | np.ndarray) -> float | np.ndarray:
+        """Hubble rate in h km/s/Mpc."""
+        return H0_HUNITS * self.E(a)
+
+    # -- linear growth -------------------------------------------------
+    def growth_factor(self, a: float) -> float:
+        """Linear growth factor D(a), normalised so D(1) = 1.
+
+        Uses the standard integral form
+        ``D(a) propto H(a) * integral_0^a da' / (a' H(a'))^3``.
+        """
+        return self._growth_unnormalised(a) / self._growth_unnormalised(1.0)
+
+    def _growth_unnormalised(self, a: float) -> float:
+        if a <= 0:
+            raise ValueError("scale factor must be positive")
+
+        def integrand(ap: float) -> float:
+            return 1.0 / (ap * self.E(ap)) ** 3
+
+        value, _err = integrate.quad(integrand, 0.0, a, limit=200)
+        return 2.5 * self.omega_m * self.E(a) * value
+
+    def growth_rate(self, a: float) -> float:
+        """Logarithmic growth rate f = dlnD/dlna (finite difference)."""
+        eps = 1e-5 * a
+        d_hi = self._growth_unnormalised(a + eps)
+        d_lo = self._growth_unnormalised(a - eps)
+        return a * (d_hi - d_lo) / (2.0 * eps) / self._growth_unnormalised(a)
+
+    # -- leapfrog integrals ------------------------------------------------
+    def drift_factor(self, a0: float, a1: float) -> float:
+        """Comoving drift integral: int dt/a^2 = int da / (a^3 H)."""
+        return self._leapfrog_integral(a0, a1, power=3)
+
+    def kick_factor(self, a0: float, a1: float) -> float:
+        """Comoving kick integral: int dt/a = int da / (a^2 H)."""
+        return self._leapfrog_integral(a0, a1, power=2)
+
+    def _leapfrog_integral(self, a0: float, a1: float, *, power: int) -> float:
+        if a0 <= 0 or a1 <= 0:
+            raise ValueError("scale factors must be positive")
+        if a1 < a0:
+            raise ValueError("integration requires a1 >= a0")
+
+        def integrand(a: float) -> float:
+            return 1.0 / (a**power * self.H(a))
+
+        value, _err = integrate.quad(integrand, a0, a1, limit=200)
+        return value
+
+    # -- the paper's stepping schedule --------------------------------------
+    def step_schedule(
+        self, z_initial: float = 200.0, z_final: float = 50.0, n_steps: int = 5
+    ) -> np.ndarray:
+        """Scale-factor edges of an n-step run, linear in ``a``.
+
+        HACC's outer time stepper is uniform in the scale factor; the
+        default arguments give the paper's five steps from z=200 to
+        z=50 (Section 3.4.3).
+        """
+        if z_final >= z_initial:
+            raise ValueError("z_final must be below z_initial")
+        if n_steps < 1:
+            raise ValueError("need at least one step")
+        a0 = float(self.a_of_z(z_initial))
+        a1 = float(self.a_of_z(z_final))
+        return np.linspace(a0, a1, n_steps + 1)

@@ -1,0 +1,269 @@
+"""Simulated MPI: rank topology, decomposition, and overload exchange.
+
+The paper's test problem runs 8 MPI ranks, one per accelerator slice
+(Section 3.4.2).  Offline we cannot (and need not) run real MPI; this
+module provides an mpi4py-compatible communicator façade whose ranks
+run as threads inside one process, with collectives implemented as
+true rendezvous operations.  Code written against :class:`SimComm`
+ports to mpi4py by replacing the communicator object (the method names
+follow the mpi4py convention).
+
+It also provides HACC's 3-D block domain decomposition with "overload"
+(ghost) particle exchange: each rank holds copies of neighbouring
+particles within an overload shell of its boundary, which is what lets
+the short-range solvers run without per-pair communication.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.hacc.particles import ParticleData
+
+
+class _Rendezvous:
+    """One collective-operation meeting point for ``size`` ranks."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._cond = threading.Condition()
+        self._values: list[Any] = [None] * size
+        self._arrived = 0
+        self._generation = 0
+
+    def exchange(self, rank: int, value: Any) -> list[Any]:
+        """Deposit ``value``; blocks until all ranks arrive, then every
+        rank receives the full value list."""
+        with self._cond:
+            generation = self._generation
+            self._values[rank] = value
+            self._arrived += 1
+            if self._arrived == self.size:
+                self._arrived = 0
+                self._generation += 1
+                self._result = list(self._values)
+                self._cond.notify_all()
+            else:
+                while self._generation == generation:
+                    self._cond.wait()
+            return self._result
+
+
+class SimComm:
+    """A thread-backed stand-in for ``mpi4py.MPI.COMM_WORLD``."""
+
+    def __init__(self, world: "SimWorld", rank: int):
+        self._world = world
+        self._rank = rank
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        values = self._world.rendezvous("bcast").exchange(self._rank, obj)
+        return values[root]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        values = self._world.rendezvous("gather").exchange(self._rank, obj)
+        return values if self._rank == root else None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return self._world.rendezvous("allgather").exchange(self._rank, obj)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        values = self._world.rendezvous("allreduce").exchange(self._rank, value)
+        return _reduce(values, op)
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any | None:
+        values = self._world.rendezvous("reduce").exchange(self._rank, value)
+        return _reduce(values, op) if self._rank == root else None
+
+    def alltoall(self, sendbuf: list[Any]) -> list[Any]:
+        """Each rank sends ``sendbuf[r]`` to rank r."""
+        if len(sendbuf) != self._world.size:
+            raise ValueError("alltoall send buffer must have one entry per rank")
+        values = self._world.rendezvous("alltoall").exchange(self._rank, sendbuf)
+        return [values[src][self._rank] for src in range(self._world.size)]
+
+    def barrier(self) -> None:
+        self._world.rendezvous("barrier").exchange(self._rank, None)
+
+    # lowercase aliases (mpi4py exposes both spellings for some ops)
+    Barrier = barrier
+
+
+def _reduce(values: list[Any], op: str) -> Any:
+    if op == "sum":
+        total = values[0]
+        for v in values[1:]:
+            total = total + v
+        return total
+    if op == "min":
+        return min(values)
+    if op == "max":
+        return max(values)
+    raise ValueError(f"unsupported reduction {op!r}")
+
+
+class SimWorld:
+    """A simulated MPI world of ``size`` ranks (threads)."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self._lock = threading.Lock()
+        self._rendezvous: dict[str, _Rendezvous] = {}
+        self._sequence: dict[str, int] = {}
+
+    def rendezvous(self, kind: str) -> _Rendezvous:
+        """The current meeting point for collective ``kind``.
+
+        A fresh rendezvous is created per collective *call site epoch*;
+        ranks calling collectives in the same order (required by MPI
+        semantics) always agree on the epoch.
+        """
+        with self._lock:
+            rv = self._rendezvous.get(kind)
+            if rv is None or rv._generation > 0:
+                rv = _Rendezvous(self.size)
+                self._rendezvous[kind] = rv
+            return rv
+
+    def run(self, fn: Callable[[SimComm], Any]) -> list[Any]:
+        """Execute ``fn(comm)`` on every rank concurrently.
+
+        Exceptions in any rank are re-raised in the caller (after all
+        threads finish), matching the fail-fast behaviour of an MPI
+        abort.
+        """
+        results: list[Any] = [None] * self.size
+        errors: list[BaseException | None] = [None] * self.size
+
+        def runner(rank: int) -> None:
+            try:
+                results[rank] = fn(SimComm(self, rank))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors[rank] = exc
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Domain decomposition
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DomainDecomposition:
+    """3-D block decomposition of the periodic box.
+
+    The paper's 8 ranks form a 2x2x2 grid.  Each rank owns the cuboid
+    ``[lo, hi)``; :meth:`exchange_overload` adds ghost copies of
+    neighbouring particles within ``overload`` of the boundary.
+    """
+
+    box: float
+    ranks_per_dim: tuple[int, int, int]
+    overload: float
+
+    def __post_init__(self):
+        if any(r < 1 for r in self.ranks_per_dim):
+            raise ValueError("ranks per dimension must be >= 1")
+        widths = [self.box / r for r in self.ranks_per_dim]
+        if self.overload < 0 or self.overload >= min(widths) / 2:
+            raise ValueError("overload width must be in [0, half the domain width)")
+
+    @classmethod
+    def cubic(cls, box: float, n_ranks: int, overload: float) -> "DomainDecomposition":
+        """Cubic decomposition for a cubic rank count (8 -> 2x2x2)."""
+        per_dim = round(n_ranks ** (1.0 / 3.0))
+        if per_dim**3 != n_ranks:
+            raise ValueError(f"{n_ranks} ranks do not form a cubic grid")
+        return cls(box=box, ranks_per_dim=(per_dim,) * 3, overload=overload)
+
+    @property
+    def n_ranks(self) -> int:
+        rx, ry, rz = self.ranks_per_dim
+        return rx * ry * rz
+
+    def rank_coords(self, rank: int) -> tuple[int, int, int]:
+        rx, ry, rz = self.ranks_per_dim
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        return (rank // (ry * rz), (rank // rz) % ry, rank % rz)
+
+    def bounds(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """(lo, hi) corners of the rank's owned cuboid."""
+        coords = self.rank_coords(rank)
+        widths = np.array([self.box / r for r in self.ranks_per_dim])
+        lo = np.array(coords) * widths
+        return lo, lo + widths
+
+    def owner_of(self, pos: np.ndarray) -> np.ndarray:
+        """Owning rank for each (n, 3) position."""
+        pos = np.asarray(pos, dtype=np.float64) % self.box
+        rx, ry, rz = self.ranks_per_dim
+        ix = np.minimum((pos[:, 0] / self.box * rx).astype(np.int64), rx - 1)
+        iy = np.minimum((pos[:, 1] / self.box * ry).astype(np.int64), ry - 1)
+        iz = np.minimum((pos[:, 2] / self.box * rz).astype(np.int64), rz - 1)
+        return ix * ry * rz + iy * rz + iz
+
+    def split(self, particles: ParticleData) -> list[ParticleData]:
+        """Partition a global particle set into per-rank owned sets."""
+        owners = self.owner_of(particles.positions)
+        return [particles.select(owners == r) for r in range(self.n_ranks)]
+
+    def _in_overload_region(self, pos: np.ndarray, rank: int) -> np.ndarray:
+        """Mask of positions within ``overload`` of rank's cuboid
+        (periodic), excluding positions inside the cuboid itself."""
+        lo, hi = self.bounds(rank)
+        pos = np.asarray(pos) % self.box
+        half = 0.5 * self.box
+        inside = np.ones(len(pos), dtype=bool)
+        near = np.ones(len(pos), dtype=bool)
+        for axis in range(3):
+            x = pos[:, axis]
+            centre = 0.5 * (lo[axis] + hi[axis])
+            d = (x - centre + half) % self.box - half
+            half_width = 0.5 * (hi[axis] - lo[axis])
+            inside &= np.abs(d) < half_width
+            near &= np.abs(d) < half_width + self.overload
+        return near & ~inside
+
+    def exchange_overload(self, owned: Sequence[ParticleData]) -> list[ParticleData]:
+        """Ghost exchange: each rank receives copies of neighbouring
+        ranks' particles inside its overload shell.
+
+        Returns, per rank, the owned particles concatenated with their
+        ghosts (ghosts keep their original ``pid``).
+        """
+        if len(owned) != self.n_ranks:
+            raise ValueError("owned list must have one entry per rank")
+        results = []
+        for r in range(self.n_ranks):
+            merged = owned[r]
+            for s in range(self.n_ranks):
+                if s == r or len(owned[s]) == 0:
+                    continue
+                mask = self._in_overload_region(owned[s].positions, r)
+                if mask.any():
+                    merged = merged.concatenated_with(owned[s].select(mask))
+            results.append(merged)
+        return results

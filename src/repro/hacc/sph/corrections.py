@@ -1,0 +1,260 @@
+"""The **Corrections** kernel (paper timer ``upCor``).
+
+"Corrections, which computes the reproducing kernel coefficients of the
+higher order SPH solver" (Section 5).  The linear-order CRK correction
+replaces W_ij with
+
+    W^R_ij = A_i * (1 + B_i . (x_i - x_j)) * W_ij
+
+where A_i (scalar) and B_i (vector) are chosen so the corrected kernel
+*reproduces* constant and linear fields exactly:
+
+    sum_j V_j W^R_ij = 1       and       sum_j V_j (x_j - x_i) W^R_ij = 0.
+
+Writing the geometric moments
+
+    m0_i = sum_j V_j W_ij            (including the self term)
+    m1_i = sum_j V_j (x_j - x_i) W_ij
+    m2_i = sum_j V_j (x_j - x_i)(x_j - x_i)^T W_ij
+
+the solution is ``B_i = m2_i^{-1} m1_i`` and
+``A_i = 1 / (m0_i - m1_i . B_i)``.  The reproducing conditions are the
+kernel's correctness contract and are property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hacc.sph.kernels_math import kernel_self_value
+from repro.hacc.sph.pairs import PairContext
+
+#: Tikhonov regularisation of m2 relative to its trace; keeps the 3x3
+#: solves stable for particles with thin/degenerate neighbourhoods
+M2_REGULARISATION = 1.0e-8
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """CRK coefficients, their spatial gradients, and the raw moments.
+
+    The coefficient *gradients* (grad_a, grad_b) are what make the
+    corrected kernel's difference-form gradient estimates exact for
+    linear fields; computing them is the bulk of the Corrections
+    kernel's arithmetic (the "higher order SPH solver" coefficients of
+    Section 5).
+    """
+
+    a: np.ndarray        # (n,)
+    b: np.ndarray        # (n, 3)
+    m0: np.ndarray       # (n,)
+    m1: np.ndarray       # (n, 3)
+    m2: np.ndarray       # (n, 3, 3)
+    #: dA/dx_gamma, shape (n, 3)
+    grad_a: np.ndarray
+    #: dB_alpha/dx_gamma, shape (n, 3, 3) indexed [particle, alpha, gamma]
+    grad_b: np.ndarray
+
+
+def compute_moments(
+    ctx: PairContext, h: np.ndarray, volume: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Geometric moments m0, m1, m2 (self term included in m0)."""
+    w = ctx.kernel_values(h)
+    vj = volume[ctx.j]
+    vw = vj * w
+    m0 = ctx.scatter_sum(vw) + volume * kernel_self_value(h)
+    # x_j - x_i = -dx  (ctx.dx stores x_i - x_j)
+    dji = -ctx.dx
+    m1 = ctx.scatter_sum(vw[:, None] * dji)
+    outer = dji[:, :, None] * dji[:, None, :]
+    m2 = ctx.scatter_sum(vw[:, None, None] * outer)
+    return m0, m1, m2
+
+
+def solve_coefficients(
+    m0: np.ndarray, m1: np.ndarray, m2: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve for (A, B) from the moments, with regularised 3x3 solves.
+
+    Falls back to the zeroth-order correction (B = 0, A = 1/m0) for
+    particles whose m2 is numerically singular, which reproduces
+    constants but not linear fields -- the same graceful degradation
+    production CRK codes use near pathological geometries.
+    """
+    n = len(m0)
+    trace = np.trace(m2, axis1=1, axis2=2)
+    reg = M2_REGULARISATION * np.maximum(trace, 1e-300)
+    m2_reg = m2 + reg[:, None, None] * np.eye(3)[None, :, :]
+    b = np.zeros((n, 3))
+    try:
+        b = np.linalg.solve(m2_reg, m1[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        # per-particle fallback
+        for k in range(n):
+            try:
+                b[k] = np.linalg.solve(m2_reg[k], m1[k])
+            except np.linalg.LinAlgError:
+                b[k] = 0.0
+    denom = m0 - np.einsum("ij,ij->i", m1, b)
+    bad = ~np.isfinite(denom) | (np.abs(denom) < 1e-12 * np.abs(m0))
+    if np.any(bad):
+        b[bad] = 0.0
+        denom = np.where(bad, m0, denom)
+    a = 1.0 / denom
+    return a, b
+
+
+def compute_moment_gradients(
+    ctx: PairContext, h: np.ndarray, volume: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Spatial gradients of the moments with respect to x_i.
+
+    With ``dji = x_j - x_i`` (so ``d dji / d x_i = -I``):
+
+        dm0[p, g]       = sum_j V_j dW_g
+        dm1[p, a, g]    = sum_j V_j (dji_a dW_g - delta_ag W)
+        dm2[p, a, b, g] = sum_j V_j (dji_a dji_b dW_g
+                                      - (delta_ag dji_b + delta_bg dji_a) W)
+
+    where ``dW`` is the gradient of the uncorrected kernel with respect
+    to x_i.  The self term's kernel gradient vanishes at r = 0.
+    """
+    w = ctx.kernel_values(h)
+    gw = ctx.kernel_gradients(h)
+    vj = volume[ctx.j]
+    dji = -ctx.dx
+    eye = np.eye(3)
+
+    dm0 = ctx.scatter_sum(vj[:, None] * gw)
+    vw = vj * w
+    # the self particle contributes -I V_i W(0, h_i) to dm1 (its dji is
+    # zero, but the -delta W term survives); its dm0/dm2 terms vanish
+    self_w = volume * kernel_self_value(h)
+    dm1 = (
+        ctx.scatter_sum(vj[:, None, None] * dji[:, :, None] * gw[:, None, :])
+        - eye[None, :, :] * (ctx.scatter_sum(vw) + self_w)[:, None, None]
+    )
+
+    outer = dji[:, :, None] * dji[:, None, :]
+    term1 = vj[:, None, None, None] * outer[:, :, :, None] * gw[:, None, None, :]
+    # -(delta_ag dji_b + delta_bg dji_a) W
+    term2 = -(
+        eye[None, :, None, :] * dji[:, None, :, None]
+        + eye[None, None, :, :] * dji[:, :, None, None]
+    ) * vw[:, None, None, None]
+    dm2 = ctx.scatter_sum(term1 + term2)
+    return dm0, dm1, dm2
+
+
+def solve_coefficient_gradients(
+    m0: np.ndarray,
+    m1: np.ndarray,
+    m2: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    dm0: np.ndarray,
+    dm1: np.ndarray,
+    dm2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of (A, B) by implicit differentiation of the solves.
+
+    From ``m2 B = m1``:  ``dB = m2^-1 (dm1 - dm2 . B)``.
+    From ``A (m0 - B . m1) = 1``:
+        ``dA = -A^2 (dm0 - dB . m1 - B . dm1)``.
+    """
+    trace = np.trace(m2, axis1=1, axis2=2)
+    reg = M2_REGULARISATION * np.maximum(trace, 1e-300)
+    m2_reg = m2 + reg[:, None, None] * np.eye(3)[None, :, :]
+
+    # rhs[p, a, g] = dm1[p, a, g] - sum_b dm2[p, a, b, g] B[p, b]
+    rhs = dm1 - np.einsum("pabg,pb->pag", dm2, b)
+    try:
+        grad_b = np.linalg.solve(m2_reg, rhs)
+    except np.linalg.LinAlgError:
+        grad_b = np.zeros_like(rhs)
+
+    # dD[p, g] = dm0 - sum_a (grad_b[a, g] m1_a + B_a dm1[a, g])
+    d_denom = (
+        dm0
+        - np.einsum("pag,pa->pg", grad_b, m1)
+        - np.einsum("pa,pag->pg", b, dm1)
+    )
+    grad_a = -(a**2)[:, None] * d_denom
+    return grad_a, grad_b
+
+
+def compute_corrections(
+    ctx: PairContext, h: np.ndarray, volume: np.ndarray
+) -> CorrectionResult:
+    """The Corrections kernel: moments, coefficients, and their
+    gradients."""
+    volume = np.asarray(volume, dtype=np.float64)
+    if len(volume) != ctx.n:
+        raise ValueError("volume array does not match the pair context")
+    m0, m1, m2 = compute_moments(ctx, h, volume)
+    a, b = solve_coefficients(m0, m1, m2)
+    dm0, dm1, dm2 = compute_moment_gradients(ctx, h, volume)
+    grad_a, grad_b = solve_coefficient_gradients(m0, m1, m2, a, b, dm0, dm1, dm2)
+    return CorrectionResult(
+        a=a, b=b, m0=m0, m1=m1, m2=m2, grad_a=grad_a, grad_b=grad_b
+    )
+
+
+def corrected_kernel_values(
+    ctx: PairContext, h: np.ndarray, corr: CorrectionResult
+) -> np.ndarray:
+    """W^R_ij = A_i (1 + B_i . (x_i - x_j)) W_ij on all pairs."""
+    w = ctx.kernel_values(h)
+    lin = 1.0 + np.einsum("ij,ij->i", corr.b[ctx.i], ctx.dx)
+    return corr.a[ctx.i] * lin * w
+
+
+def corrected_kernel_gradients(
+    ctx: PairContext, h: np.ndarray, corr: CorrectionResult
+) -> np.ndarray:
+    """The full gradient grad_i W^R_ij, including the grad-A / grad-B
+    terms.
+
+    With ``d = x_i - x_j`` and ``lin = 1 + B_i . d``:
+
+        grad_g W^R = (dA_g lin + A ((dB . d)_g + B_g)) W + A lin grad_g W
+
+    Carrying the coefficient gradients is what makes the corrected
+    difference-form gradient estimates *exact* for affine fields -- the
+    property the test suite pins and the reason the Corrections kernel
+    is one of the paper's five arithmetic hotspots.
+    """
+    return _gradient_for_side(ctx, h, corr, side="i")
+
+
+def _gradient_for_side(
+    ctx: PairContext, h: np.ndarray, corr: CorrectionResult, *, side: str
+) -> np.ndarray:
+    """grad W^R for either orientation of the directed pair list.
+
+    ``side="i"`` gives grad_i W^R_ij (coefficients of i, displacement
+    x_i - x_j); ``side="j"`` gives grad_j W^R_ji (coefficients of j,
+    displacement x_j - x_i), which the Acceleration kernel needs for
+    its antisymmetrised pairing.
+    """
+    if side == "i":
+        idx, d = ctx.i, ctx.dx
+    elif side == "j":
+        idx, d = ctx.j, -ctx.dx
+    else:
+        raise ValueError(f"side must be 'i' or 'j', got {side!r}")
+    from repro.hacc.sph.kernels_math import cubic_spline, cubic_spline_gradient
+
+    w = cubic_spline(ctx.r, h[idx])
+    gw = cubic_spline_gradient(d, ctx.r, h[idx])
+    a = corr.a[idx]
+    b = corr.b[idx]
+    grad_a = corr.grad_a[idx]
+    grad_b = corr.grad_b[idx]
+    lin = 1.0 + np.einsum("pa,pa->p", b, d)
+    db_dot_d = np.einsum("pag,pa->pg", grad_b, d)
+    coeff_term = grad_a * lin[:, None] + a[:, None] * (db_dot_d + b)
+    return coeff_term * w[:, None] + (a * lin)[:, None] * gw

@@ -1,0 +1,81 @@
+"""The **Energy** kernel (paper timers ``upBarDu``/``upBarDuF``).
+
+"Energy, which solves the derivative of the internal energy"
+(Section 5).  The compatible form pairs exactly with the momentum
+equation of :mod:`repro.hacc.sph.acceleration`:
+
+    du_i/dt = (1/m_i) sum_j V_i V_j (P_i + Pi_ij/2) / 2
+                        * (v_i - v_j) . (grad_i W^R_ij - grad_j W^R_ji)
+
+With this pairing the pair's thermal-energy gain equals the pair's
+kinetic-energy loss *identically*, so total energy is conserved to
+round-off -- the strongest invariant the test suite checks on the hydro
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hacc.sph.acceleration import AccelerationResult
+from repro.hacc.sph.pairs import PairContext
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Internal-energy derivative."""
+
+    du_dt: np.ndarray  # (n,)
+
+
+def compute_energy_rate(
+    ctx: PairContext,
+    volume: np.ndarray,
+    mass: np.ndarray,
+    pressure: np.ndarray,
+    velocity: np.ndarray,
+    accel: AccelerationResult,
+) -> EnergyResult:
+    """The Energy kernel, reusing the Acceleration kernel's pairing.
+
+    ``accel`` must come from :func:`compute_acceleration` on the *same*
+    pair context: the antisymmetrised gradients and pair viscosities
+    are shared state, exactly as in CRK-HACC where the two kernels read
+    the same interaction lists.
+    """
+    volume = np.asarray(volume, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    pressure = np.asarray(pressure, dtype=np.float64)
+    velocity = np.asarray(velocity, dtype=np.float64)
+    if accel.delta_gw.shape != (ctx.n_pairs, 3):
+        raise ValueError("acceleration result does not match the pair context")
+
+    dv = velocity[ctx.i] - velocity[ctx.j]
+    work = np.einsum("ij,ij->i", dv, accel.delta_gw)
+    vi = volume[ctx.i]
+    vj = volume[ctx.j]
+    p_eff = pressure[ctx.i] + 0.5 * accel.visc_pi
+    contrib = vi * vj * 0.5 * p_eff * work / mass[ctx.i]
+    du_dt = ctx.scatter_sum(contrib)
+    return EnergyResult(du_dt=du_dt)
+
+
+def pairwise_energy_balance(
+    ctx: PairContext,
+    volume: np.ndarray,
+    mass: np.ndarray,
+    pressure: np.ndarray,
+    velocity: np.ndarray,
+    accel: AccelerationResult,
+) -> float:
+    """Residual of the total-energy balance (diagnostic).
+
+    Computes d/dt (kinetic + thermal) from the two kernels' outputs;
+    the compatible discretisation makes this zero to round-off.
+    """
+    energy = compute_energy_rate(ctx, volume, mass, pressure, velocity, accel)
+    thermal_rate = float(np.sum(mass * energy.du_dt))
+    kinetic_rate = float(np.sum(mass[:, None] * velocity * accel.dv_dt))
+    return thermal_rate + kinetic_rate

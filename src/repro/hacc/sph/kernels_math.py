@@ -1,0 +1,139 @@
+"""Smoothing-kernel mathematics.
+
+The cubic B-spline kernel in 3-D with compact support ``2h``:
+
+    W(r, h) = (1 / pi h^3) * { 1 - 1.5 q^2 + 0.75 q^3        0 <= q < 1
+                               0.25 (2 - q)^3                1 <= q < 2
+                               0                             q >= 2 }
+
+with ``q = r/h``.  Both W and its gradient are vectorised over pair
+arrays; per-interaction flop counts used by the GPU cost model are
+derived from these expressions and pinned by tests
+(:data:`W_FLOPS_PER_PAIR`, :data:`GRADW_FLOPS_PER_PAIR`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: kernel support radius in units of h
+SUPPORT = 2.0
+
+_NORM_3D = 1.0 / np.pi
+
+#: floating-point operations per W(r, h) evaluation (polynomial branch,
+#: counting the q = r/h division and normalisation; used for costing)
+W_FLOPS_PER_PAIR = 12
+#: flops per gradient evaluation (dW/dq, the 1/(r h) factors, 3 components)
+GRADW_FLOPS_PER_PAIR = 18
+
+
+def cubic_spline(r: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Kernel value W(r, h); supports broadcasting of r against h."""
+    r = np.asarray(r, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("smoothing lengths must be positive")
+    q = r / h
+    w = np.where(
+        q < 1.0,
+        1.0 - 1.5 * q**2 + 0.75 * q**3,
+        np.where(q < SUPPORT, 0.25 * (2.0 - q) ** 3, 0.0),
+    )
+    return _NORM_3D * w / h**3
+
+
+def cubic_spline_derivative(r: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """dW/dr at separation r."""
+    r = np.asarray(r, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("smoothing lengths must be positive")
+    q = r / h
+    dwdq = np.where(
+        q < 1.0,
+        -3.0 * q + 2.25 * q**2,
+        np.where(q < SUPPORT, -0.75 * (2.0 - q) ** 2, 0.0),
+    )
+    return _NORM_3D * dwdq / h**4
+
+
+def cubic_spline_gradient(dx: np.ndarray, r: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Gradient of W with respect to x_i: (dW/dr) * dx / r.
+
+    ``dx`` is the (n, 3) displacement ``x_i - x_j``; the r = 0 case is
+    returned as a zero vector (the kernel is smooth at the origin).
+    """
+    dx = np.asarray(dx, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    dwdr = cubic_spline_derivative(r, h)
+    safe_r = np.where(r > 0, r, 1.0)
+    scale = np.where(r > 0, dwdr / safe_r, 0.0)
+    return scale[:, None] * dx
+
+
+def kernel_self_value(h: np.ndarray) -> np.ndarray:
+    """W(0, h) -- the self contribution of each particle."""
+    h = np.asarray(h, dtype=np.float64)
+    return _NORM_3D / h**3
+
+
+def wendland_c2(r: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Wendland C2 kernel in 3-D with support 2h.
+
+    Production CRKSPH codes favour Wendland kernels for their stability
+    against the pairing instability at high neighbour counts; provided
+    as an alternative to the cubic spline.  Normalised so the 3-D
+    integral over the support is 1.
+
+        W(q) = (21 / 16 pi h^3) (1 - q/2)^4 (2 q + 1),  q = r/h < 2.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("smoothing lengths must be positive")
+    q = r / h
+    base = np.maximum(1.0 - 0.5 * q, 0.0)
+    w = base**4 * (2.0 * q + 1.0)
+    return (21.0 / (16.0 * np.pi)) * w / h**3
+
+
+def wendland_c2_derivative(r: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """dW/dr of the Wendland C2 kernel."""
+    r = np.asarray(r, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("smoothing lengths must be positive")
+    q = r / h
+    base = np.maximum(1.0 - 0.5 * q, 0.0)
+    # d/dq [ (1-q/2)^4 (2q+1) ] = -5 q (1-q/2)^3
+    dwdq = -5.0 * q * base**3
+    return (21.0 / (16.0 * np.pi)) * dwdq / h**4
+
+
+#: kernel families available to the SPH pipeline
+KERNELS = {
+    "cubic-spline": (cubic_spline, cubic_spline_derivative),
+    "wendland-c2": (wendland_c2, wendland_c2_derivative),
+}
+
+
+def verify_normalisation(h: float = 1.0, n_samples: int = 200) -> float:
+    """Numerical check that the kernel integrates to 1 over its support.
+
+    Returns the quadrature value (tests assert it is ~1); exposed as a
+    library function so examples can demonstrate kernel correctness.
+    """
+    r = np.linspace(0.0, SUPPORT * h, n_samples)
+    w = cubic_spline(r, np.full_like(r, h))
+    return float(np.trapezoid(4.0 * np.pi * r**2 * w, r))
+
+
+def verify_kernel_normalisation(kernel: str, h: float = 1.0, n_samples: int = 400) -> float:
+    """Quadrature of any registered kernel over its support."""
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {sorted(KERNELS)}")
+    w_fn, _dw = KERNELS[kernel]
+    r = np.linspace(0.0, SUPPORT * h, n_samples)
+    w = w_fn(r, np.full_like(r, h))
+    return float(np.trapezoid(4.0 * np.pi * r**2 * w, r))

@@ -1,0 +1,84 @@
+"""Shared pair-interaction context for the SPH kernels.
+
+All five hot kernels iterate the same neighbour structure; CRK-HACC
+builds interaction lists once per step and reuses them.  The
+:class:`PairContext` caches the directed pair list, displacements and
+separations so the kernel modules stay focused on their physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hacc.neighbors import find_pairs
+from repro.hacc.sph.kernels_math import SUPPORT, cubic_spline, cubic_spline_gradient
+
+
+@dataclass
+class PairContext:
+    """Directed SPH pair list with cached geometry.
+
+    ``i``/``j`` index into the position array; pairs are directed
+    (both (i, j) and (j, i) present), which matches the scatter-free
+    gather formulation of the vectorised kernels.
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    dx: np.ndarray  # x_i - x_j, minimum image, shape (m, 3)
+    r: np.ndarray   # |dx|
+    n: int          # number of particles
+
+    @classmethod
+    def build(cls, pos: np.ndarray, h: np.ndarray, box: float) -> "PairContext":
+        """Pairs within the kernel support ``SUPPORT * max(h)``."""
+        pos = np.asarray(pos, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        if len(pos) == 0:
+            empty = np.array([], dtype=np.int64)
+            return cls(i=empty, j=empty, dx=np.zeros((0, 3)), r=np.zeros(0), n=0)
+        if np.any(h <= 0):
+            raise ValueError("smoothing lengths must be positive")
+        cutoff = float(SUPPORT * h.max())
+        cutoff = min(cutoff, 0.499 * box)
+        idx_i, idx_j = find_pairs(pos, box, cutoff)
+        d = pos[idx_i] - pos[idx_j]
+        half = 0.5 * box
+        d = (d + half) % box - half
+        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+        return cls(i=idx_i, j=idx_j, dx=d, r=r, n=len(pos))
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.i)
+
+    def kernel_values(self, h: np.ndarray) -> np.ndarray:
+        """W(r_ij, h_i) on all pairs."""
+        return cubic_spline(self.r, h[self.i])
+
+    def kernel_gradients(self, h: np.ndarray) -> np.ndarray:
+        """grad_i W(r_ij, h_i) on all pairs, shape (m, 3)."""
+        return cubic_spline_gradient(self.dx, self.r, h[self.i])
+
+    def scatter_sum(self, values: np.ndarray) -> np.ndarray:
+        """Sum pair values into per-particle accumulators over i.
+
+        ``values`` may be (m,) or (m, k); returns (n,) or (n, k).  This
+        is the vectorised analogue of the GPU kernels' atomic adds.
+        """
+        values = np.asarray(values)
+        if values.ndim == 1:
+            out = np.zeros(self.n)
+            np.add.at(out, self.i, values)
+            return out
+        out = np.zeros((self.n,) + values.shape[1:])
+        np.add.at(out, self.i, values)
+        return out
+
+    def mean_neighbors(self) -> float:
+        """Mean directed neighbour count (cost-model input)."""
+        if self.n == 0:
+            return 0.0
+        return self.n_pairs / self.n

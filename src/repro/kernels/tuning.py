@@ -1,0 +1,169 @@
+"""Per-kernel configuration auto-tuning.
+
+Section 5.2: "exploring the tuning of these parameters [register file
+size and sub-group size] for individual kernels is left to future
+work."  This module is that future work for the reproduction: an
+exhaustive search over the legal (variant, sub-group size, GRF mode)
+space per kernel per device, using the same compiler/pricing path the
+figures use -- so the tuner can only pick configurations that actually
+compile (vISA never appears off-Intel, sub-group 16 never on the A100,
+large GRF never off-Intel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hacc.timestep import WorkloadTrace
+from repro.kernels.adiabatic import AdiabaticKernelDefinition
+from repro.kernels.specs import KERNEL_SPECS, TIMER_TO_KERNEL
+from repro.kernels.variants import ALL_VARIANTS, Variant
+from repro.machine.cost_model import CostModel, KernelLaunch
+from repro.machine.device import DeviceSpec, GRFMode
+from repro.proglang.compiler import DEFAULT_WORKGROUP_SIZE
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """The winning configuration for one kernel on one device."""
+
+    kernel: str
+    variant: Variant
+    subgroup_size: int
+    grf_mode: GRFMode
+    seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.variant.name}, sub-group {self.subgroup_size}, "
+            f"GRF {self.grf_mode.value}"
+        )
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Full auto-tuning outcome for a device."""
+
+    device: str
+    configs: dict[str, TunedConfig]
+    #: seconds of the untuned baseline (device defaults, Select)
+    baseline_seconds: float
+
+    @property
+    def tuned_seconds(self) -> float:
+        return sum(c.seconds for c in self.configs.values())
+
+    @property
+    def speedup(self) -> float:
+        if self.tuned_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.tuned_seconds
+
+
+def _grf_modes(device: DeviceSpec) -> tuple[GRFMode, ...]:
+    if device.supports_large_grf:
+        return (GRFMode.SMALL, GRFMode.LARGE)
+    return (GRFMode.SMALL,)
+
+
+def _kernel_seconds(
+    device: DeviceSpec,
+    cost_model: CostModel,
+    kernel: str,
+    invocations,
+    variant: Variant,
+    subgroup_size: int,
+    grf_mode: GRFMode,
+) -> float:
+    spec = KERNEL_SPECS[kernel]
+    total = 0.0
+    for inv in invocations:
+        definition = AdiabaticKernelDefinition(
+            spec, variant, inv.interactions_per_item, timer=inv.name
+        )
+        profile = definition.profile(
+            device, subgroup_size=subgroup_size, fast_math=True
+        )
+        launch = KernelLaunch(
+            n_workitems=inv.n_workitems,
+            workgroup_size=DEFAULT_WORKGROUP_SIZE,
+            subgroup_size=subgroup_size,
+            grf_mode=grf_mode,
+            fast_math=True,
+        )
+        total += cost_model.kernel_cost(profile, launch).seconds
+    return total
+
+
+def autotune(trace: WorkloadTrace, device: DeviceSpec) -> TuningResult:
+    """Exhaustively tune every kernel of a workload trace on ``device``.
+
+    Returns per-kernel winners and the speedup over the untuned
+    baseline (Select at the device's default sub-group size -- the
+    out-of-box migration configuration).
+    """
+    cost_model = CostModel(device)
+
+    # group invocations by kernel (merging the paired F timers)
+    by_kernel: dict[str, list] = {}
+    for inv in trace.invocations:
+        kernel = TIMER_TO_KERNEL.get(inv.name)
+        if kernel is None:
+            raise KeyError(f"trace contains unknown timer {inv.name!r}")
+        by_kernel.setdefault(kernel, []).append(inv)
+
+    configs: dict[str, TunedConfig] = {}
+    baseline = 0.0
+    from repro.kernels.variants import variant_by_name
+
+    select = variant_by_name("select")
+    for kernel, invocations in by_kernel.items():
+        baseline += _kernel_seconds(
+            device,
+            cost_model,
+            kernel,
+            invocations,
+            select,
+            device.default_subgroup_size,
+            GRFMode.SMALL,
+        )
+        best: TunedConfig | None = None
+        for variant in ALL_VARIANTS:
+            if not variant.supported(device):
+                continue
+            for sg in device.subgroup_sizes:
+                if DEFAULT_WORKGROUP_SIZE % sg != 0:
+                    continue
+                for grf in _grf_modes(device):
+                    seconds = _kernel_seconds(
+                        device, cost_model, kernel, invocations, variant, sg, grf
+                    )
+                    if best is None or seconds < best.seconds:
+                        best = TunedConfig(
+                            kernel=kernel,
+                            variant=variant,
+                            subgroup_size=sg,
+                            grf_mode=grf,
+                            seconds=seconds,
+                        )
+        assert best is not None  # at least Select always compiles
+        configs[kernel] = best
+    return TuningResult(
+        device=device.system, configs=configs, baseline_seconds=baseline
+    )
+
+
+def tuning_table(result: TuningResult) -> str:
+    """Human-readable tuning report."""
+    lines = [
+        f"Auto-tuning on {result.device}: "
+        f"{result.speedup:.2f}x over the out-of-box configuration",
+        f"{'kernel':<14} {'variant':<14} {'sub-group':>9} {'GRF':>6} {'time':>12}",
+    ]
+    for kernel in sorted(result.configs):
+        c = result.configs[kernel]
+        lines.append(
+            f"{kernel:<14} {c.variant.name:<14} {c.subgroup_size:>9} "
+            f"{c.grf_mode.value:>6} {c.seconds * 1e6:>10.1f}us"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""The five kernel communication variants of Section 5.3.
+
+Each variant realises the half-warp pair exchange differently:
+
+===============  ============================================  ==========
+Variant          Mechanism                                     Paper ref
+===============  ============================================  ==========
+Select           ``sycl::select_from_group`` (registers)       5.3
+Memory, 32-bit   local memory, one word per round-trip         5.3.1
+Memory, Object   local memory, whole object per round-trip     5.3.1
+Broadcast        restructured loops + ``group_broadcast``      5.3.2
+vISA             inline-assembly butterfly shuffle             5.3.3
+===============  ============================================  ==========
+"""
+
+from repro.kernels.variants.base import Variant
+from repro.kernels.variants.select import SelectVariant
+from repro.kernels.variants.memory32 import Memory32Variant
+from repro.kernels.variants.memory_object import MemoryObjectVariant
+from repro.kernels.variants.broadcast import BroadcastVariant
+from repro.kernels.variants.visa import VisaVariant
+
+#: all variants in the paper's presentation order (Figures 9-11)
+ALL_VARIANTS: tuple[Variant, ...] = (
+    SelectVariant(),
+    Memory32Variant(),
+    MemoryObjectVariant(),
+    BroadcastVariant(),
+    VisaVariant(),
+)
+
+_BY_NAME = {v.name: v for v in ALL_VARIANTS}
+_BY_LABEL = {v.paper_label.lower(): v for v in ALL_VARIANTS}
+
+
+def variant_by_name(name: str) -> Variant:
+    """Look a variant up by short name or by its paper label."""
+    key = name.lower()
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    if key in _BY_LABEL:
+        return _BY_LABEL[key]
+    raise KeyError(
+        f"unknown variant {name!r}; known: {sorted(_BY_NAME)}"
+    )
+
+
+__all__ = [
+    "Variant",
+    "SelectVariant",
+    "Memory32Variant",
+    "MemoryObjectVariant",
+    "BroadcastVariant",
+    "VisaVariant",
+    "ALL_VARIANTS",
+    "variant_by_name",
+]

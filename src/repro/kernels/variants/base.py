@@ -1,0 +1,124 @@
+"""Variant interface.
+
+A :class:`Variant` describes *how* the half-warp pair exchange is
+implemented.  It contributes two things:
+
+1. **Cost**: per-interaction additions to the kernel's instruction
+   profile (:meth:`profile_fields`) -- which communication primitive
+   moves the partner payload, how registers and atomics change.
+2. **Semantics**: a functional exchange (:meth:`exchange`) used by the
+   lane-level half-warp simulator to prove all variants compute the
+   same physics (the paper's one-line-macro interchangeability,
+   Section 5.3.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.device import DeviceSpec, GRFMode, Vendor
+from repro.kernels.specs import KernelSpec
+
+
+@dataclass(frozen=True)
+class ProfileFields:
+    """Per-interaction profile contributions of a variant."""
+
+    shuffles: float = 0.0
+    broadcasts: float = 0.0
+    lm_exchanges_32bit: float = 0.0
+    lm_exchange_objects: float = 0.0
+    lm_object_words: float = 0.0
+    visa_exchanges: float = 0.0
+    #: multiplier on the kernel's pair flops
+    flop_factor: float = 1.0
+    #: multiplier on the kernel's atomic counts
+    atomic_factor: float = 1.0
+    #: live scalar registers per work-item
+    registers: int = 32
+    #: extra local memory per work-group, bytes
+    local_mem_bytes_per_workgroup: int = 0
+
+
+class Variant(abc.ABC):
+    """One communication strategy for the half-warp algorithm."""
+
+    #: short identifier ("select", "memory32", ...)
+    name: str = "variant"
+    #: label used in the paper's figures ("Select", "Memory, 32-bit", ...)
+    paper_label: str = "Variant"
+    #: "halfwarp" variants exchange partner data between lanes;
+    #: "broadcast" variants restructure the loop (Section 5.3.2)
+    algorithm: str = "halfwarp"
+
+    # ------------------------------------------------------------------
+    def supported(self, device: DeviceSpec) -> bool:
+        """Whether this variant compiles for ``device``."""
+        return True
+
+    def subgroup_size(self, device: DeviceSpec, spec: KernelSpec) -> int:
+        """Sub-group size this variant uses on ``device``.
+
+        Defaults to the device's native size; variants override where
+        the paper does (broadcast kernels use 16 on Intel GPUs due to
+        register pressure, Section 5.3.2).
+        """
+        return device.default_subgroup_size
+
+    def grf_mode(self, device: DeviceSpec) -> GRFMode:
+        """Register-file mode.  The paper's results use the 256-register
+        (large-GRF) mode on Intel (Section 5.2)."""
+        if device.supports_large_grf:
+            return GRFMode.LARGE
+        return GRFMode.SMALL
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def profile_fields(
+        self, spec: KernelSpec, device: DeviceSpec, subgroup_size: int
+    ) -> ProfileFields:
+        """Per-interaction profile contributions on ``device``."""
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def exchange(
+        self,
+        values: np.ndarray,
+        partner: np.ndarray,
+        scratch: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """Functionally exchange lane values with their partners.
+
+        ``values`` has the sub-group as its last axis; ``partner`` is
+        the per-lane source index.  ``scratch`` is the sub-group's
+        local-memory region (a dict the memory variants may use).  All
+        implementations must return exactly ``values[..., partner]``;
+        the half-warp simulator's tests enforce this equivalence.
+        """
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def effective_registers(
+        total: int, uniform: int, device: DeviceSpec, subgroup_size: int
+    ) -> int:
+        """Per-work-item register footprint on ``device``.
+
+        On SIMD register files (Intel: ``register_width_elems > 1``)
+        sub-group-uniform values are stored once per hardware thread
+        and cost each work-item only ``uniform / subgroup_size``
+        registers; scalar register files (NVIDIA/AMD) replicate them
+        per lane.  This asymmetry is why the broadcast restructure fits
+        on Aurora but spills on the A100 (Section 5.4).
+        """
+        if uniform > total:
+            raise ValueError("uniform register count exceeds the total")
+        if device.register_width_elems > 1:
+            shared = -(-uniform // subgroup_size)  # ceil division
+            return total - uniform + shared
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Variant {self.name}>"

@@ -1,0 +1,72 @@
+"""The *Broadcast* variant: restructured loops with known-index
+broadcasts (Section 5.3.2).
+
+Instead of exchanging partner state between lanes, every work-item
+loads *both* particles of its pair: the j-side particle is broadcast
+from a compile-time-known lane, which on Intel hardware lowers to
+register regioning (Figure 6) at negligible cost.  The price:
+
+- work-items redundantly compute intermediate values previously
+  communicated (flop inflation),
+- register pressure roughly doubles (two particles' state live),
+- but the restructure generates *fewer atomic instructions*.
+
+Due to the register pressure, the broadcast kernels use a sub-group
+size of 16 on Intel GPUs (Section 5.3.2) -- combined with the large
+GRF mode, that is the 4x register headroom of Section 5.2.  On the
+A100 the same pressure causes heavy spills and the ~10x slowdowns of
+Figure 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.specs import KernelSpec
+from repro.kernels.variants.base import ProfileFields, Variant
+from repro.machine.device import DeviceSpec, Vendor
+from repro.proglang import intrinsics
+
+
+class BroadcastVariant(Variant):
+    """Loop restructure: both particles per work-item, j via broadcast."""
+
+    name = "broadcast"
+    paper_label = "Broadcast"
+    algorithm = "broadcast"
+
+    def subgroup_size(self, device: DeviceSpec, spec: KernelSpec) -> int:
+        if device.vendor is Vendor.INTEL:
+            return 16  # Section 5.3.2: register pressure
+        return device.default_subgroup_size
+
+    def profile_fields(
+        self, spec: KernelSpec, device: DeviceSpec, subgroup_size: int
+    ) -> ProfileFields:
+        return ProfileFields(
+            broadcasts=float(spec.payload_words),
+            flop_factor=spec.broadcast_flop_factor,
+            atomic_factor=spec.broadcast_atomic_factor,
+            registers=self.effective_registers(
+                spec.registers_broadcast,
+                spec.uniform_registers_broadcast,
+                device,
+                subgroup_size,
+            ),
+        )
+
+    def exchange(
+        self,
+        values: np.ndarray,
+        partner: np.ndarray,
+        scratch: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        # The broadcast restructure does not exchange at all -- each
+        # lane gathers the partner state through a sequence of uniform
+        # broadcasts.  Functionally this composes to the same gather.
+        partner = np.asarray(partner)
+        out = np.empty_like(values)
+        for lane in range(values.shape[-1]):
+            src = int(partner[lane]) if partner.ndim else int(partner)
+            out[..., lane] = intrinsics.group_broadcast(values, src)[..., lane]
+        return out

@@ -1,0 +1,65 @@
+"""The *Memory, 32-bit* variant: local-memory exchange per component.
+
+Section 5.3.1: a function behaviourally identical to
+``select_from_group`` that communicates through work-group local
+memory -- each work-item writes a value, waits on a sub-group barrier,
+and reads the value written by another work-item.  This variant
+exchanges each 32-bit component of composite types separately, paying
+one barrier round-trip per word but needing only one word of local
+memory per work-item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.specs import KernelSpec
+from repro.kernels.variants.base import ProfileFields, Variant
+from repro.machine.device import DeviceSpec
+from repro.proglang import intrinsics
+
+
+class Memory32Variant(Variant):
+    """Local-memory exchange, one 32-bit word per round-trip."""
+
+    name = "memory32"
+    paper_label = "Memory, 32-bit"
+    algorithm = "halfwarp"
+
+    #: extra live registers for the local-memory plumbing (pointer,
+    #: offset arithmetic) -- the 19-line difference from Select
+    REGISTER_OVERHEAD = 4
+
+    def profile_fields(
+        self, spec: KernelSpec, device: DeviceSpec, subgroup_size: int
+    ) -> ProfileFields:
+        return ProfileFields(
+            lm_exchanges_32bit=float(spec.payload_words),
+            registers=self.effective_registers(
+                spec.registers_halfwarp + self.REGISTER_OVERHEAD,
+                spec.uniform_registers_halfwarp,
+                device,
+                subgroup_size,
+            ),
+            # one word per work-item of scratch, sized by the launch
+            # wrapper as word x work-group size; recorded here per the
+            # paper's sizing rule (Section 5.3.1)
+            local_mem_bytes_per_workgroup=4 * 128,
+        )
+
+    def exchange(
+        self,
+        values: np.ndarray,
+        partner: np.ndarray,
+        scratch: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        # write one word at a time through the scratch region
+        out = np.empty_like(values)
+        flat = values.reshape(-1, values.shape[-1])
+        out_flat = out.reshape(-1, values.shape[-1])
+        slot = scratch.setdefault("word", np.zeros(values.shape[-1], values.dtype))
+        for row in range(flat.shape[0]):
+            slot[:] = flat[row]  # write
+            # (sub-group barrier)
+            out_flat[row] = intrinsics.select_from_group(slot, partner)  # read
+        return out

@@ -1,0 +1,61 @@
+"""The *Memory, Object* variant: local-memory exchange of whole objects.
+
+Section 5.3.1/5.4: the composite particle payload is exchanged through
+a larger work-group local-memory region in one write/barrier/read
+round-trip.  Fewer barriers than the 32-bit variant, at the cost of
+``payload_words`` words of local memory per work-item -- which affects
+occupancy, and on NVIDIA hardware eats into the shared-memory/L1
+budget (the effect that makes the memory variants worst on the
+register-heavy Energy and Acceleration kernels on Polaris).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.specs import KernelSpec
+from repro.kernels.variants.base import ProfileFields, Variant
+from repro.machine.device import DeviceSpec
+from repro.proglang import intrinsics
+
+
+class MemoryObjectVariant(Variant):
+    """Local-memory exchange, whole composite object per round-trip."""
+
+    name = "memory_object"
+    paper_label = "Memory, Object"
+    algorithm = "halfwarp"
+
+    REGISTER_OVERHEAD = 8
+
+    def profile_fields(
+        self, spec: KernelSpec, device: DeviceSpec, subgroup_size: int
+    ) -> ProfileFields:
+        return ProfileFields(
+            lm_exchange_objects=1.0,
+            lm_object_words=float(spec.payload_words),
+            registers=self.effective_registers(
+                spec.registers_halfwarp + self.REGISTER_OVERHEAD,
+                spec.uniform_registers_halfwarp,
+                device,
+                subgroup_size,
+            ),
+            local_mem_bytes_per_workgroup=4 * spec.payload_words * 128,
+        )
+
+    def exchange(
+        self,
+        values: np.ndarray,
+        partner: np.ndarray,
+        scratch: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        # whole object written at once, single barrier, read back
+        slot = scratch.setdefault(
+            "object", np.zeros(values.shape, values.dtype)
+        )
+        if slot.shape != values.shape:
+            slot = np.zeros(values.shape, values.dtype)
+            scratch["object"] = slot
+        slot[...] = values  # one write of the whole object
+        # (sub-group barrier)
+        return intrinsics.select_from_group(slot, partner)  # one read

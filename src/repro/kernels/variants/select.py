@@ -1,0 +1,47 @@
+"""The *Select* variant: ``sycl::select_from_group``.
+
+This is what SYCLomatic's migration of ``__shfl`` produces: every word
+of the partner payload moves through an arbitrary-pattern cross-lane
+shuffle.  On NVIDIA/AMD hardware this is a dedicated instruction and
+the variant is the fastest; on Intel hardware the unknown pattern
+lowers to indirect register access at one cycle per lane (Figure 5),
+making Select "always the worst" variant on Aurora (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.specs import KernelSpec
+from repro.kernels.variants.base import ProfileFields, Variant
+from repro.machine.device import DeviceSpec
+from repro.proglang import intrinsics
+
+
+class SelectVariant(Variant):
+    """Exchange via ``select_from_group`` (register shuffles)."""
+
+    name = "select"
+    paper_label = "Select"
+    algorithm = "halfwarp"
+
+    def profile_fields(
+        self, spec: KernelSpec, device: DeviceSpec, subgroup_size: int
+    ) -> ProfileFields:
+        return ProfileFields(
+            shuffles=float(spec.payload_words),
+            registers=self.effective_registers(
+                spec.registers_halfwarp,
+                spec.uniform_registers_halfwarp,
+                device,
+                subgroup_size,
+            ),
+        )
+
+    def exchange(
+        self,
+        values: np.ndarray,
+        partner: np.ndarray,
+        scratch: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        return intrinsics.select_from_group(values, partner)

@@ -1,0 +1,48 @@
+"""Atomic operation cost model.
+
+Section 5.1 of the paper: SYCL's ``atomic_ref`` exposes ``fetch_min`` /
+``fetch_max`` on floating-point types everywhere, but NVIDIA GPUs lack
+native float atomic min/max, so the operation is emulated with an
+atomic compare-and-swap loop.  Atomic adds are native on all three
+architectures.  The broadcast-restructured kernels generate fewer
+atomics (Section 5.3.2), which is why atomic costs matter for variant
+selection.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.machine.device import DeviceSpec
+
+
+class AtomicOp(enum.Enum):
+    """The atomic operations CRK-HACC's kernels use."""
+
+    ADD = "add"
+    MIN = "min"
+    MAX = "max"
+
+
+class AtomicsModel:
+    """Per-device atomic cost helper."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def is_native(self, op: AtomicOp) -> bool:
+        """Whether the device executes the float atomic natively."""
+        if op is AtomicOp.ADD:
+            return self.device.native_float_atomic_add
+        return self.device.native_float_atomic_minmax
+
+    def cycles(self, op: AtomicOp, count: float = 1.0) -> float:
+        """Cycles for ``count`` float atomics of kind ``op``.
+
+        Emulated operations pay the device's CAS-loop factor, which
+        covers the load / compare / retry traffic of the emulation.
+        """
+        base = self.device.atomic_cycles
+        if not self.is_native(op):
+            base *= self.device.cas_emulation_factor
+        return base * count

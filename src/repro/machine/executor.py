@@ -1,0 +1,97 @@
+"""Functional execution with simulated timing.
+
+:class:`DeviceExecutor` is the virtual GPU's "runtime": it runs a
+kernel's functional body (plain NumPy) for the physics result and asks
+the cost model for the simulated device time, recording both.  It plays
+the role that the CUDA/HIP/SYCL runtimes play in the paper: the
+mini-app's time stepper submits kernels through it, and the paper's
+timers (Section 3.4.4) read its ledger.
+
+The executor's per-kernel times are the reproduction's equivalent of
+``rocprof`` ground truth: the :mod:`repro.timers` module's bracket
+timers are validated against them, mirroring the paper's validation of
+CRK-HACC's internal timers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.machine.cost_model import (
+    CostModel,
+    InstructionProfile,
+    KernelCost,
+    KernelLaunch,
+)
+from repro.machine.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One kernel execution as seen by the device runtime."""
+
+    kernel_name: str
+    launch: KernelLaunch
+    cost: KernelCost
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.seconds
+
+
+@dataclass
+class DeviceExecutor:
+    """Submits kernels to one virtual device and keeps a time ledger."""
+
+    device: DeviceSpec
+    records: list[ExecutionRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.cost_model = CostModel(self.device)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        profile: InstructionProfile,
+        launch: KernelLaunch,
+        body: Callable[[], Any] | None = None,
+    ) -> Any:
+        """Run ``body`` (if given) and record the simulated kernel time.
+
+        Returns whatever ``body`` returns, so call sites read like a
+        kernel launch followed by a result fetch.
+        """
+        result = body() if body is not None else None
+        cost = self.cost_model.kernel_cost(profile, launch)
+        self.records.append(
+            ExecutionRecord(kernel_name=name, launch=launch, cost=cost)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # ledger queries ("rocprof")
+    # ------------------------------------------------------------------
+    def total_seconds(self) -> float:
+        """Total simulated time across all offloaded kernels."""
+        return sum(r.seconds for r in self.records)
+
+    def seconds_by_kernel(self) -> dict[str, float]:
+        """Simulated seconds aggregated by kernel name."""
+        agg: dict[str, float] = defaultdict(float)
+        for r in self.records:
+            agg[r.kernel_name] += r.seconds
+        return dict(agg)
+
+    def calls_by_kernel(self) -> dict[str, int]:
+        """Invocation counts by kernel name."""
+        agg: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            agg[r.kernel_name] += 1
+        return dict(agg)
+
+    def reset(self) -> None:
+        """Clear the ledger (e.g. between warm-up and timed steps)."""
+        self.records.clear()

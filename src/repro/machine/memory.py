@@ -1,0 +1,116 @@
+"""Memory hierarchy cost models.
+
+Two effects from the paper are modelled here:
+
+1. *Local-memory exchange cost* (Section 5.3.1): swapping
+   ``select_from_group`` for a write / sub-group-barrier / read sequence
+   through work-group local memory.  The cost is per exchanged word plus
+   a barrier.
+
+2. *The shared-memory / L1 trade-off on NVIDIA* (Section 5.4): on A100
+   the shared memory is carved out of the unified L1, so local-memory
+   variants of cache-hungry kernels (Energy, Acceleration) lose L1 hit
+   rate.  We model this as a reduction in effective global-memory
+   bandwidth proportional to the carve-out fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.device import DeviceSpec
+
+#: fraction of global traffic that L1 absorbs when fully available;
+#: calibrated so that a full shared-memory carve-out costs cache-hungry
+#: kernels a noticeable but not dominating factor on A100
+L1_HIT_BENEFIT = 1.5
+
+
+@dataclass(frozen=True)
+class LocalExchangeCost:
+    """Cycle cost of one local-memory sub-group exchange."""
+
+    cycles: float
+    #: bytes of work-group local memory the exchange reserves per
+    #: work-group (affects occupancy)
+    local_mem_bytes_per_workgroup: int
+
+
+class MemoryModel:
+    """Per-device memory cost helper."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    # -- local-memory exchange -----------------------------------------
+    def local_exchange(
+        self,
+        words: int,
+        *,
+        workgroup_size: int,
+        separate_barriers: bool,
+    ) -> LocalExchangeCost:
+        """Cost of exchanging ``words`` 32-bit words between work-items
+        of a sub-group through local memory.
+
+        ``separate_barriers`` selects the paper's *Memory, 32-bit*
+        variant (one write/barrier/read round-trip per component) as
+        opposed to *Memory, Object* (a single round-trip moving the
+        whole composite object, using a larger local-memory region).
+        """
+        dev = self.device
+        per_word = 2.0 * dev.local_mem_latency_cycles  # write + read
+        if separate_barriers:
+            barriers = words
+            lm_bytes = 4 * workgroup_size  # one word per work-item
+        else:
+            barriers = 1
+            lm_bytes = 4 * words * workgroup_size  # whole object at once
+        cycles = words * per_word + barriers * dev.subgroup_barrier_cycles
+        return LocalExchangeCost(
+            cycles=cycles, local_mem_bytes_per_workgroup=lm_bytes
+        )
+
+    # -- shared-memory / L1 contention ----------------------------------
+    def l1_contention_factor(self, registers_needed: int) -> float:
+        """Multiplier on local-memory cycles from the shared-memory/L1
+        trade-off (Section 5.4).
+
+        On devices whose local memory is carved out of L1, kernels with
+        a large live state depend on L1 to hold their working set;
+        using local memory for exchanges both shrinks that cache and
+        contends with it for bandwidth.  The linear form (1 + R/128) is
+        a calibration choice: it makes the memory variants of the
+        register-heavy Energy and Acceleration kernels the ones that
+        suffer most, as the paper reports for the A100.
+        """
+        if not self.device.local_mem_shares_l1:
+            return 1.0
+        return 1.0 + registers_needed / 128.0
+
+    # -- global memory ---------------------------------------------------
+    def effective_bandwidth(self, local_mem_bytes_per_cu: float) -> float:
+        """Effective global bandwidth (bytes/s) given shared-memory use.
+
+        On devices where local memory shares capacity with L1, carving
+        out shared memory lowers the cache's ability to filter global
+        traffic, which we fold into a lower effective bandwidth.
+        """
+        dev = self.device
+        base = dev.hbm_bandwidth_gbs * 1e9
+        if not dev.local_mem_shares_l1:
+            return base * (1.0 + L1_HIT_BENEFIT)
+        capacity = dev.local_mem_per_cu_kib * 1024.0
+        carve = min(1.0, max(0.0, local_mem_bytes_per_cu / capacity))
+        l1_available = 1.0 - carve
+        return base * (1.0 + L1_HIT_BENEFIT * l1_available)
+
+    def memory_time(
+        self,
+        total_bytes: float,
+        *,
+        local_mem_bytes_per_cu: float = 0.0,
+    ) -> float:
+        """Seconds to move ``total_bytes`` of global traffic."""
+        bw = self.effective_bandwidth(local_mem_bytes_per_cu)
+        return total_bytes / bw

@@ -1,0 +1,130 @@
+"""Roofline analysis of the priced kernels.
+
+A complement to the paper's efficiency figures: for each kernel the
+roofline model asks whether the device's compute peak or its memory
+bandwidth bounds performance.  The cost model already takes
+``max(compute, memory)``; this module exposes the underlying
+positions -- arithmetic intensity vs the device ridge point -- so the
+"who is bound by what" structure behind Figures 9-11 is inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hacc.timestep import WorkloadTrace
+from repro.kernels.adiabatic import AdiabaticKernelDefinition
+from repro.kernels.specs import KERNEL_SPECS, TIMER_TO_KERNEL
+from repro.kernels.variants import Variant, variant_by_name
+from repro.machine.cost_model import CostModel, KernelLaunch
+from repro.machine.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position under the roofline."""
+
+    kernel: str
+    device: str
+    #: flops per byte of global traffic
+    arithmetic_intensity: float
+    #: device ridge point (flops/byte at which compute == bandwidth)
+    ridge_point: float
+    #: achieved FLOP/s from the cost model
+    achieved_flops: float
+    #: the roofline ceiling at this intensity
+    ceiling_flops: float
+
+    @property
+    def bound(self) -> str:
+        return (
+            "memory" if self.arithmetic_intensity < self.ridge_point else "compute"
+        )
+
+    @property
+    def ceiling_fraction(self) -> float:
+        """Achieved fraction of the attainable (not absolute) peak."""
+        if self.ceiling_flops <= 0:
+            return 0.0
+        return min(1.0, self.achieved_flops / self.ceiling_flops)
+
+
+def ridge_point(device: DeviceSpec) -> float:
+    """Flops/byte where the device's compute and bandwidth rooflines meet.
+
+    Uses the raw HBM bandwidth (no cache boost): the classic roofline
+    convention.
+    """
+    return device.peak_flops / (device.hbm_bandwidth_gbs * 1e9)
+
+
+def roofline_point(
+    device: DeviceSpec,
+    timer: str,
+    interactions_per_item: float,
+    n_workitems: int,
+    variant: Variant | str = "select",
+) -> RooflinePoint:
+    """Place one kernel invocation under ``device``'s roofline."""
+    if isinstance(variant, str):
+        variant = variant_by_name(variant)
+    kernel_name = TIMER_TO_KERNEL.get(timer)
+    if kernel_name is None:
+        raise KeyError(f"unknown timer {timer!r}")
+    spec = KERNEL_SPECS[kernel_name]
+    definition = AdiabaticKernelDefinition(
+        spec, variant, interactions_per_item, timer=timer
+    )
+    sg = variant.subgroup_size(device, spec)
+    profile = definition.profile(device, subgroup_size=sg, fast_math=True)
+    launch = KernelLaunch(
+        n_workitems=n_workitems,
+        subgroup_size=sg,
+        grf_mode=variant.grf_mode(device),
+    )
+    cost = CostModel(device).kernel_cost(profile, launch)
+
+    flops = profile.flop_count
+    bytes_moved = max(profile.global_bytes, 1e-300)
+    intensity = flops / bytes_moved
+    ridge = ridge_point(device)
+    ceiling = min(
+        device.peak_flops, intensity * device.hbm_bandwidth_gbs * 1e9
+    )
+    achieved = flops * n_workitems / max(cost.seconds, 1e-300)
+    return RooflinePoint(
+        kernel=timer,
+        device=device.system,
+        arithmetic_intensity=intensity,
+        ridge_point=ridge,
+        achieved_flops=achieved,
+        ceiling_flops=ceiling,
+    )
+
+
+def roofline_for_trace(
+    trace: WorkloadTrace, device: DeviceSpec, variant: Variant | str = "select"
+) -> list[RooflinePoint]:
+    """Roofline positions of every distinct timer in a trace."""
+    seen: dict[str, RooflinePoint] = {}
+    for inv in trace.invocations:
+        if inv.name in seen:
+            continue
+        seen[inv.name] = roofline_point(
+            device, inv.name, inv.interactions_per_item, inv.n_workitems, variant
+        )
+    return list(seen.values())
+
+
+def format_roofline(points: list[RooflinePoint]) -> str:
+    lines = [
+        f"{'kernel':<10} {'intensity':>10} {'ridge':>7} {'bound':>8} "
+        f"{'achieved':>12} {'of ceiling':>10}"
+    ]
+    for p in sorted(points, key=lambda p: p.kernel):
+        lines.append(
+            f"{p.kernel:<10} {p.arithmetic_intensity:>9.1f}F/B "
+            f"{p.ridge_point:>6.1f} {p.bound:>8} "
+            f"{p.achieved_flops / 1e12:>10.2f}TF {p.ceiling_fraction:>9.1%}"
+        )
+    return "\n".join(lines)

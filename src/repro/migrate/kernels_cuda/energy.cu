@@ -1,0 +1,39 @@
+// CRK-HACC Energy kernel (upBarDu/upBarDuF): internal-energy derivative.
+// Pair-symmetric with the Acceleration kernel; commits a single du
+// accumulator plus the energy-based time-step atomic min.
+#include "hacc_cuda.h"
+
+__global__ void update_energy(float* px, float* vx, float* pres,
+                              float* vol, float* mass, float* du,
+                              float* dt_min, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid >= n) return;
+
+  float xi = px[tid];
+  float vxi = vx[tid];
+  float p_i = pres[tid];
+  float vol_i = vol[tid];
+  float m_i = mass[tid];
+  float du_i = 0.0f;
+
+  for (int step = 0; step < warpSize / 2; ++step) {
+    int mask = warpSize / 2 + step;
+    float xj = __shfl_xor_sync(0xffffffff, xi, mask);
+    float vxj = __shfl_xor_sync(0xffffffff, vxi, mask);
+    float vol_j = __shfl_xor_sync(0xffffffff, vol_i, mask);
+    float dx = xi - xj;
+    float dv = vxi - vxj;
+    float work = dv * dx;
+    du_i += vol_i * vol_j * 0.5f * p_i * work / m_i;
+  }
+  atomicAdd(&du[tid], du_i);
+  float u_limit = expf(-du_i);
+  atomicMin(&dt_min[0], u_limit);
+}
+
+void launch_update_energy(float* px, float* vx, float* pres, float* vol,
+                          float* mass, float* du, float* dt_min, int n) {
+  dim3 grid((n + 127) / 128);
+  dim3 block(128);
+  update_energy<<<grid, block>>>(px, vx, pres, vol, mass, du, dt_min, n);
+}

@@ -1,0 +1,38 @@
+// CRK-HACC Extras kernel (upBarEx): density and state gradients.
+// Exercises the uniform-index shuffle (a broadcast candidate) and the
+// frexp scaling trick in the gradient normalisation.
+#include "hacc_cuda.h"
+
+__global__ void update_extras(float* px, float* rho, float* pres,
+                              float* grad_rho, float* grad_p, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid >= n) return;
+
+  float xi = px[tid];
+  float rho_i = rho[tid];
+  float p_i = pres[tid];
+  float g_rho = 0.0f;
+  float g_p = 0.0f;
+
+  for (int step = 0; step < warpSize / 2; ++step) {
+    // all lanes read from the leader: uniform source index
+    float x0 = __shfl_sync(0xffffffff, xi, 0);
+    float rho_j = __shfl_xor_sync(0xffffffff, rho_i, warpSize / 2 + step);
+    float p_j = __shfl_xor_sync(0xffffffff, p_i, warpSize / 2 + step);
+    float dx = xi - x0;
+    g_rho += (rho_j - rho_i) * dx;
+    g_p += (p_j - p_i) * dx;
+  }
+
+  int scale_exp;
+  float mantissa = frexpf(g_rho, &scale_exp);
+  grad_rho[tid] = mantissa * powf(2.0f, (float)scale_exp);
+  atomicAdd(&grad_p[tid], g_p);
+}
+
+void launch_update_extras(float* px, float* rho, float* pres,
+                          float* grad_rho, float* grad_p, int n) {
+  dim3 grid((n + 127) / 128);
+  dim3 block(128);
+  update_extras<<<grid, block>>>(px, rho, pres, grad_rho, grad_p, n);
+}

@@ -1,0 +1,42 @@
+// CRK-HACC Geometry kernel (upGeo): gas particle volumes.
+// Mini-CUDA dialect; the half-warp exchange moves partner positions
+// with XOR shuffles, and per-leaf results commit with atomic adds.
+#include "hacc_cuda.h"
+
+__global__ void update_geometry(float* px, float* py, float* pz,
+                                float* h, float* ndens, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  int lane = threadIdx.x % warpSize;
+  if (tid >= n) return;
+
+  float xi = __ldg(&px[tid]);
+  float yi = __ldg(&py[tid]);
+  float zi = __ldg(&pz[tid]);
+  float hi = h[tid];
+  float sum = 0.0f;
+
+  for (int step = 0; step < warpSize / 2; ++step) {
+    int mask = warpSize / 2 + step;
+    float xj = __shfl_xor_sync(0xffffffff, xi, mask);
+    float yj = __shfl_xor_sync(0xffffffff, yi, mask);
+    float zj = __shfl_xor_sync(0xffffffff, zi, mask);
+    float dx = xi - xj;
+    float dy = yi - yj;
+    float dz = zi - zj;
+    float r = sqrtf(dx * dx + dy * dy + dz * dz);
+    float q = r / hi;
+    if (q < 2.0f) {
+      float w = (q < 1.0f) ? 1.0f - 1.5f * q * q + 0.75f * q * q * q
+                           : 0.25f * (2.0f - q) * (2.0f - q) * (2.0f - q);
+      sum += w / (3.14159265f * hi * hi * hi);
+    }
+  }
+  atomicAdd(&ndens[tid], sum);
+}
+
+void launch_update_geometry(float* px, float* py, float* pz,
+                            float* h, float* ndens, int n) {
+  dim3 grid((n + 127) / 128);
+  dim3 block(128);
+  update_geometry<<<grid, block>>>(px, py, pz, h, ndens, n);
+}

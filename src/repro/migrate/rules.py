@@ -1,0 +1,231 @@
+"""API mapping rules with SYCLomatic-style diagnostics.
+
+Each :class:`MigrationRule` rewrites one CUDA construct to its SYCL
+equivalent; rules that cannot guarantee a safe migration attach a
+:class:`Diagnostic`, exactly as SYCLomatic does (Section 4.1: for
+CRK-HACC, diagnostics were generated only for removable intrinsics
+like ``__ldg`` and for math functions with different precision
+guarantees like ``frexp``).
+
+Two rule sets are provided:
+
+- :func:`migration_rules` -- the faithful out-of-box migration,
+- :func:`optimization_rules` -- the hardware-agnostic Section 5.1
+  rewrites (group algorithms for shuffle reductions, ``sycl::native``
+  math, sub-group index built-ins, ``atomic_ref`` min/max).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A migration warning attached to a rewritten construct."""
+
+    code: str
+    message: str
+    construct: str
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.message} [{self.construct}]"
+
+
+@dataclass(frozen=True)
+class MigrationRule:
+    """One regex rewrite with an optional diagnostic factory."""
+
+    name: str
+    pattern: re.Pattern
+    replacement: str | Callable[[re.Match], str]
+    diagnostic: Callable[[re.Match], Diagnostic] | None = None
+
+    def apply(self, text: str) -> tuple[str, list[Diagnostic]]:
+        diags: list[Diagnostic] = []
+
+        def _sub(m: re.Match) -> str:
+            if self.diagnostic is not None:
+                diags.append(self.diagnostic(m))
+            if callable(self.replacement):
+                return self.replacement(m)
+            return m.expand(self.replacement)
+
+        return self.pattern.sub(_sub, text), diags
+
+
+def _rule(name, pattern, replacement, diagnostic=None) -> MigrationRule:
+    return MigrationRule(
+        name=name,
+        pattern=re.compile(pattern),
+        replacement=replacement,
+        diagnostic=diagnostic,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage-1 migration rules (SYCLomatic behaviour)
+# ---------------------------------------------------------------------------
+def migration_rules() -> list[MigrationRule]:
+    """The out-of-box CUDA -> SYCL rewrites."""
+    dims = {"x": 2, "y": 1, "z": 0}  # CUDA x maps to SYCL dimension 2
+    rules: list[MigrationRule] = []
+
+    for cuda_dim, sycl_dim in dims.items():
+        rules += [
+            _rule(
+                f"threadIdx.{cuda_dim}",
+                rf"threadIdx\.{cuda_dim}\b",
+                f"item.get_local_id({sycl_dim})",
+            ),
+            _rule(
+                f"blockIdx.{cuda_dim}",
+                rf"blockIdx\.{cuda_dim}\b",
+                f"item.get_group({sycl_dim})",
+            ),
+            _rule(
+                f"blockDim.{cuda_dim}",
+                rf"blockDim\.{cuda_dim}\b",
+                f"item.get_local_range({sycl_dim})",
+            ),
+            _rule(
+                f"gridDim.{cuda_dim}",
+                rf"gridDim\.{cuda_dim}\b",
+                f"item.get_group_range({sycl_dim})",
+            ),
+        ]
+
+    rules += [
+        _rule(
+            "syncthreads",
+            r"__syncthreads\s*\(\s*\)",
+            "item.barrier(sycl::access::fence_space::local_space)",
+        ),
+        _rule(
+            "syncwarp",
+            r"__syncwarp\s*\(\s*\)",
+            "sycl::group_barrier(item.get_sub_group())",
+        ),
+        # warp shuffles -> sub-group select (the construct whose Intel
+        # lowering Section 5.3 is all about)
+        _rule(
+            "shfl_xor",
+            r"__shfl_xor_sync\s*\(\s*[^,]+,\s*([^,]+),\s*([^)]+)\)",
+            r"hacc::shuffle_xor(item.get_sub_group(), \1, \2)",
+        ),
+        _rule(
+            "shfl",
+            r"__shfl_sync\s*\(\s*[^,]+,\s*([^,]+),\s*([^)]+)\)",
+            r"sycl::select_from_group(item.get_sub_group(), \1, \2)",
+        ),
+        # atomics -> atomic_ref wrappers
+        _rule(
+            "atomicAdd",
+            r"atomicAdd\s*\(\s*&\s*([^,]+),\s*([^)]+)\)",
+            r"hacc::atomic_add(\1, \2)",
+        ),
+        _rule(
+            "atomicMin",
+            r"atomicMin\s*\(\s*&\s*([^,]+),\s*([^)]+)\)",
+            r"hacc::atomic_min(\1, \2)",
+        ),
+        _rule(
+            "atomicMax",
+            r"atomicMax\s*\(\s*&\s*([^,]+),\s*([^)]+)\)",
+            r"hacc::atomic_max(\1, \2)",
+        ),
+        # __ldg can be safely removed (DPCT1026-style diagnostic)
+        _rule(
+            "ldg",
+            r"__ldg\s*\(\s*&\s*([^)]+)\)",
+            r"\1",
+            diagnostic=lambda m: Diagnostic(
+                code="DPCT1026",
+                message=(
+                    "The call to __ldg was removed because there is no "
+                    "correspondence in SYCL; the compiler caches reads "
+                    "through restrict-qualified pointers automatically"
+                ),
+                construct=m.group(0),
+            ),
+        ),
+        # frexp has different precision guarantees (DPCT1017-style)
+        _rule(
+            "frexp",
+            r"\bfrexpf?\s*\(",
+            lambda m: "sycl::frexp(",
+            diagnostic=lambda m: Diagnostic(
+                code="DPCT1017",
+                message=(
+                    "sycl::frexp is used instead of frexp; the SYCL math "
+                    "function may have different precision guarantees -- "
+                    "verify numerical behaviour"
+                ),
+                construct=m.group(0).strip("("),
+            ),
+        ),
+        # math functions
+        _rule("sqrtf", r"\bsqrtf\s*\(", "sycl::sqrt("),
+        _rule("powf", r"\bpowf\s*\(", "sycl::pow("),
+        _rule("expf", r"\bexpf\s*\(", "sycl::exp("),
+        _rule("fminf", r"\bfminf\s*\(", "sycl::fmin("),
+        _rule("fmaxf", r"\bfmaxf\s*\(", "sycl::fmax("),
+        _rule("rsqrtf", r"\brsqrtf\s*\(", "sycl::rsqrt("),
+        # shared memory declarations -> local accessor view
+        _rule(
+            "shared",
+            r"__shared__\s+(\w+)\s+(\w+)\s*\[\s*([^\]]+)\]\s*;",
+            r"auto* \2 = hacc::local_array<\1, \3>(item, local);",
+        ),
+        _rule("warpSize", r"\bwarpSize\b", "item.get_sub_group().get_local_range()[0]"),
+    ]
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1 optimization rules (hardware-agnostic SYCL 2020 rewrites)
+# ---------------------------------------------------------------------------
+def optimization_rules() -> list[MigrationRule]:
+    """Rewrites that give the compiler more information (Section 5.1)."""
+    return [
+        # uniform-index shuffle -> group broadcast
+        _rule(
+            "broadcast",
+            r"sycl::select_from_group\s*\(\s*([^,]+),\s*([^,]+),\s*(0|\d+)\s*\)",
+            r"sycl::group_broadcast(\1, \2, \3)",
+        ),
+        # shuffle-network summation (the migrated reduction idiom)
+        _rule(
+            "reduce",
+            r"hacc::shuffle_reduce_sum\s*\(\s*([^,]+),\s*([^)]+)\)",
+            r"sycl::reduce_over_group(\1, \2, sycl::plus<>())",
+        ),
+        # precise math -> native, reduced-domain equivalents
+        _rule("native_pow", r"sycl::pow\(", "sycl::native::powr("),
+        _rule("native_exp", r"sycl::exp\(", "sycl::native::exp("),
+        _rule("native_rsqrt", r"sycl::rsqrt\(", "sycl::native::rsqrt("),
+        # warp-index arithmetic -> sub-group built-ins
+        _rule(
+            "lane_id",
+            r"item\.get_local_id\(2\)\s*%\s*item\.get_sub_group\(\)\.get_local_range\(\)\[0\]",
+            r"item.get_sub_group().get_local_id()",
+        ),
+        _rule(
+            "subgroup_id",
+            r"item\.get_local_id\(2\)\s*/\s*item\.get_sub_group\(\)\.get_local_range\(\)\[0\]",
+            r"item.get_sub_group().get_group_id()",
+        ),
+    ]
+
+
+def apply_rules(
+    text: str, rules: list[MigrationRule]
+) -> tuple[str, list[Diagnostic]]:
+    """Apply a rule list in order, collecting diagnostics."""
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        text, diags = rule.apply(text)
+        diagnostics.extend(diags)
+    return text, diagnostics

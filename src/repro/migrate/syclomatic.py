@@ -1,0 +1,80 @@
+"""Stage 1: the SYCLomatic-equivalent migration.
+
+Emits what SYCLomatic emits (Figure 1b): CUDA kernels become C++ free
+functions taking a trailing ``sycl::nd_item<3>``, and each launch site
+becomes a ``q.parallel_for`` submission of an *unnamed lambda* -- the
+form that is incompatible with CRK-HACC's by-name launch wrappers and
+motivates the functorization stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.migrate.parser import CudaKernel, LaunchSite, ParsedSource, parse_cuda_source
+from repro.migrate.rules import Diagnostic, apply_rules, migration_rules
+
+_HEADER_SUBSTITUTION = (
+    '#include "hacc_cuda.h"',
+    '#include <sycl/sycl.hpp>\n#include "hacc_sycl.h"',
+)
+
+
+@dataclass
+class SyclomaticResult:
+    """Output of the stage-1 migration of one compilation unit."""
+
+    source: str
+    kernels: list[CudaKernel] = field(default_factory=list)
+    launches: list[LaunchSite] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+def migrate_kernel_body(body: str) -> tuple[str, list[Diagnostic]]:
+    """Apply the API mapping rules to one kernel body."""
+    return apply_rules(body, migration_rules())
+
+
+def _migrate_signature(kernel: CudaKernel) -> str:
+    args = ", ".join(p.declaration for p in kernel.params)
+    sep = ", " if args else ""
+    return f"void {kernel.name}({args}{sep}const sycl::nd_item<3>& item)"
+
+
+def _lambda_launch(site: LaunchSite) -> str:
+    """Figure 1b: submission of an unnamed kernel lambda."""
+    args = f"{site.args}, " if site.args else ""
+    return (
+        "q.parallel_for(\n"
+        f"    sycl::nd_range<3>({site.grid} * {site.block}, {site.block}),\n"
+        "    [=](sycl::nd_item<3> item) {\n"
+        f"      {site.kernel_name}({args.rstrip()}item);\n"
+        "    });"
+    )
+
+
+def migrate_source(text: str) -> SyclomaticResult:
+    """Migrate one compilation unit from mini-CUDA to SYCL.
+
+    The output preserves the original file structure (kernels in
+    place, launches in place), as SYCLomatic does.
+    """
+    parsed: ParsedSource = parse_cuda_source(text)
+    result = SyclomaticResult(source="", kernels=parsed.kernels, launches=parsed.launches)
+
+    # Rewrite spans back-to-front so earlier spans stay valid.
+    replacements: list[tuple[tuple[int, int], str]] = []
+    for kernel in parsed.kernels:
+        body, diags = migrate_kernel_body(kernel.body)
+        result.diagnostics.extend(diags)
+        new_text = _migrate_signature(kernel) + " {" + body + "}"
+        replacements.append((kernel.span, new_text))
+    for site in parsed.launches:
+        replacements.append((site.span, _lambda_launch(site)))
+
+    out = text
+    for (start, end), new_text in sorted(replacements, key=lambda r: -r[0][0]):
+        out = out[:start] + new_text + out[end:]
+    out = out.replace(*_HEADER_SUBSTITUTION)
+    result.source = out
+    return result

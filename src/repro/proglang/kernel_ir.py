@@ -1,0 +1,46 @@
+"""Kernel definition interface.
+
+A :class:`KernelDefinition` is the device-independent description of a
+GPU kernel: a name (CRK-HACC's launch abstraction requires kernels to
+be referable by name -- Section 4.2), a functional body, an instruction
+profile, and launch requirements.  Concrete definitions live in
+:mod:`repro.kernels`; this module only fixes the interface the compiler
+and executor program against.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.machine.cost_model import InstructionProfile
+from repro.machine.device import DeviceSpec
+
+
+class KernelDefinition(abc.ABC):
+    """Abstract GPU kernel, prior to compilation for a device."""
+
+    #: kernel name, referable from the launch wrappers
+    name: str = "kernel"
+
+    #: sub-group size the kernel requires for correctness, or ``None``
+    #: to accept the compile option / device default
+    required_subgroup_size: int | None = None
+
+    @abc.abstractmethod
+    def profile(
+        self, device: DeviceSpec, *, subgroup_size: int, fast_math: bool
+    ) -> InstructionProfile:
+        """Per-work-item instruction profile on ``device``."""
+
+    def body(self) -> Callable[..., Any] | None:
+        """Functional (NumPy) implementation, or ``None`` for
+        profile-only kernels used in pure performance studies."""
+        return None
+
+    def workitems_for(self, problem_size: int) -> int:
+        """Map a problem size (e.g. particle count) to work-items."""
+        return problem_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,140 @@
+"""CRK-HACC's kernel-launch abstraction (Section 4.2).
+
+CRK-HACC wraps every programming model behind macros and wrapper
+functions that assume kernels can be *referenced by name* -- natural in
+CUDA, but incompatible with the unnamed lambdas SYCLomatic emits.  The
+paper's solution is to define SYCL kernels as *function objects*
+(Figure 1c) whose shared functionality lives in a common base class:
+the work-group local-memory accessor is passed to every kernel's
+constructor and initialises the base class, and the local-memory
+exchange helper is a base-class method reusable by all kernels
+(Section 5.3.1).
+
+:class:`KernelFunctionObject` reproduces that structure, and
+:class:`LaunchWrapper` reproduces the by-name launch registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.proglang import intrinsics
+
+
+class LocalAccessor:
+    """A ``sycl::local_accessor<char>``-alike.
+
+    The launch wrapper sizes it as (largest exchanged object) x
+    (work-group size) -- Section 5.3.1 -- and every kernel receives one
+    through its constructor.  Functionally it is scratch storage for
+    the local-memory exchange helpers.
+    """
+
+    def __init__(self, nbytes: int):
+        if nbytes < 0:
+            raise ValueError("local accessor size must be non-negative")
+        self.nbytes = nbytes
+        self._storage: dict[str, np.ndarray] = {}
+
+    def scratch(self, key: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Named scratch array (one per exchanged quantity)."""
+        arr = self._storage.get(key)
+        if arr is None or arr.shape != shape or arr.dtype != dtype:
+            arr = np.zeros(shape, dtype=dtype)
+            self._storage[key] = arr
+        return arr
+
+
+class KernelFunctionObject:
+    """Base class for SYCL-style kernel function objects.
+
+    Subclasses define ``NAME``, ``LOCAL_MEM_WORDS`` (the largest object
+    exchanged between work-items, in 32-bit words) and implement
+    ``__call__``.  The exchange helpers below mirror the base-class
+    methods described in Section 5.3.1: the local-memory variant simply
+    writes, barriers, and reads; the sub-group's scratch region never
+    overlaps another sub-group's.
+    """
+
+    NAME: str = "kernel"
+    #: words of local memory per work-item needed for exchanges
+    LOCAL_MEM_WORDS: int = 0
+
+    def __init__(self, local: LocalAccessor | None = None, **params: Any):
+        self.local = local if local is not None else LocalAccessor(0)
+        self.params = params
+
+    # -- exchange helpers (base-class methods, Section 5.3.1) ---------
+    def exchange_select(self, values: np.ndarray, src: np.ndarray) -> np.ndarray:
+        """Exchange via ``select_from_group`` (registers)."""
+        return intrinsics.select_from_group(values, src)
+
+    def exchange_local_memory(self, values: np.ndarray, src: np.ndarray) -> np.ndarray:
+        """Exchange via work-group local memory.
+
+        Functionally identical to :meth:`exchange_select` -- each
+        work-item writes its value, waits on a sub-group barrier, then
+        reads the value written by another work-item -- which is
+        exactly the property the paper relies on to swap the two with a
+        one-line macro change.
+        """
+        slot = self.local.scratch("exchange", values.shape, values.dtype)
+        slot[...] = values  # write
+        # (sub-group barrier)
+        return intrinsics.select_from_group(slot, src)  # read
+
+    def exchange_butterfly(self, values: np.ndarray, step: int) -> np.ndarray:
+        """Exchange via the specialized vISA butterfly (Section 5.3.3)."""
+        return intrinsics.butterfly_exchange(values, step)
+
+    def __call__(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class LaunchWrapper:
+    """By-name kernel registry + launcher.
+
+    Mirrors CRK-HACC's host-side wrappers: registering a kernel class
+    makes it launchable by name; launching constructs the function
+    object with a correctly sized local accessor and invokes it.
+    """
+
+    def __init__(self, workgroup_size: int = 128):
+        self.workgroup_size = workgroup_size
+        self._registry: dict[str, type[KernelFunctionObject]] = {}
+
+    def register(self, cls: type[KernelFunctionObject]) -> type[KernelFunctionObject]:
+        """Register a kernel class (usable as a class decorator)."""
+        if not issubclass(cls, KernelFunctionObject):
+            raise TypeError("kernels must derive from KernelFunctionObject")
+        if cls.NAME in self._registry:
+            raise ValueError(f"kernel {cls.NAME!r} already registered")
+        self._registry[cls.NAME] = cls
+        return cls
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registry
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._registry))
+
+    def local_accessor_for(self, cls: type[KernelFunctionObject]) -> LocalAccessor:
+        """Size the accessor: largest exchanged object x work-group size."""
+        return LocalAccessor(4 * cls.LOCAL_MEM_WORDS * self.workgroup_size)
+
+    def construct(self, name: str, **params: Any) -> KernelFunctionObject:
+        """Build the function object for ``name`` (by-name reference)."""
+        try:
+            cls = self._registry[name]
+        except KeyError:
+            raise KeyError(
+                f"no kernel named {name!r}; registered: {sorted(self._registry)}"
+            ) from None
+        return cls(local=self.local_accessor_for(cls), **params)
+
+    def parallel_for(self, name: str, *args: Any, **params: Any) -> Any:
+        """Launch ``name`` over the given arguments (q.parallel_for)."""
+        kernel = self.construct(name, **params)
+        return kernel(*args)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (the reference physics run and the generated
+codebase model) are session-scoped: the physics runs once and every
+pricing/metric test reuses its workload trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hacc.ic import ICConfig, zeldovich_ics
+from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def reference_driver():
+    """A completed small reference run (2x 8^3 particles, 5 steps)."""
+    driver = AdiabaticDriver(SimulationConfig(n_per_side=8, pm_mesh=8))
+    driver.run()
+    return driver
+
+
+@pytest.fixture(scope="session")
+def reference_trace(reference_driver):
+    """The workload trace of the reference run."""
+    return reference_driver.trace
+
+
+@pytest.fixture(scope="session")
+def small_particles():
+    """A small two-species particle set (2x 6^3) at z=200."""
+    return zeldovich_ics(ICConfig(n_per_side=6, box=177.0 * 6 / 512, seed=7))
+
+
+@pytest.fixture(scope="session")
+def codebase_model(tmp_path_factory):
+    """The generated CRK-HACC codebase model and its analysis."""
+    from repro.core.codebase import analyze_model, generate_codebase
+
+    root = tmp_path_factory.mktemp("crkhacc") / "src"
+    generate_codebase(root)
+    return analyze_model(root)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

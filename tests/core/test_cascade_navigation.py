@@ -1,0 +1,115 @@
+"""Tests for cascade-plot and navigation-chart data generation."""
+
+import pytest
+
+from repro.core.cascade import cascade_data
+from repro.core.navigation import NavigationPoint, navigation_data
+from repro.core.specialization import (
+    Configuration,
+    PlatformChoice,
+    standard_configurations,
+)
+from repro.proglang.model import ProgrammingModel
+
+
+@pytest.fixture(scope="module")
+def cascade(reference_trace):
+    return cascade_data(reference_trace)
+
+
+class TestConfigurations:
+    def test_standard_set_matches_figure12(self):
+        names = {c.name for c in standard_configurations()}
+        assert names == {
+            "CUDA",
+            "HIP",
+            "vISA",
+            "SYCL (Select)",
+            "SYCL (Memory, 32-bit)",
+            "SYCL (Memory, Object)",
+            "SYCL (Broadcast)",
+            "SYCL (Select + Memory)",
+            "SYCL (Select + vISA)",
+            "Unified",
+        }
+
+    def test_unsupported_platform_prices_to_none(self, reference_trace):
+        from repro.machine.registry import AURORA
+
+        cuda = next(c for c in standard_configurations() if c.name == "CUDA")
+        assert cuda.price(reference_trace, AURORA) is None
+
+    def test_missing_platform_choice_prices_to_none(self, reference_trace):
+        from repro.machine.registry import FRONTIER
+
+        config = Configuration(
+            "partial", {"Aurora": PlatformChoice(ProgrammingModel.SYCL, "select")}
+        )
+        assert config.price(reference_trace, FRONTIER) is None
+
+
+class TestCascadeData:
+    def test_platforms_in_paper_order(self, cascade):
+        assert cascade.platforms == ["Aurora", "Polaris", "Frontier"]
+
+    def test_efficiencies_in_unit_interval(self, cascade):
+        for effs in cascade.efficiencies.values():
+            for e in effs.values():
+                assert 0.0 <= e <= 1.0
+
+    def test_nonportable_configs_zero_pp(self, cascade):
+        for name in ("CUDA", "HIP", "vISA"):
+            assert cascade.pp[name] == 0.0
+
+    def test_portable_configs_positive_pp(self, cascade):
+        for name, pp in cascade.pp.items():
+            if name not in ("CUDA", "HIP", "vISA"):
+                assert pp > 0.0, name
+
+    def test_best_times_bound_everything(self, cascade):
+        for config, totals in cascade.totals.items():
+            for platform, total in totals.items():
+                if total is None:
+                    continue
+                best = sum(cascade.best_times[platform].values())
+                assert total >= best * (1 - 1e-12)
+
+    def test_sorted_series_descending(self, cascade):
+        series = cascade.sorted_series("SYCL (Select)")
+        values = [v for _p, v in series]
+        assert values == sorted(values, reverse=True)
+
+    def test_rows_cover_all_configs(self, cascade):
+        rows = cascade.rows()
+        assert len(rows) == len(cascade.pp)
+        for row in rows:
+            assert "PP" in row
+
+
+class TestNavigationData:
+    def test_joins_pp_with_convergence(self, cascade, codebase_model):
+        from repro.core.codebase import convergence_by_configuration
+
+        conv = convergence_by_configuration(codebase_model)
+        points = navigation_data(cascade, conv)
+        names = {p.name for p in points}
+        # only configurations with a source-base model appear
+        assert "SYCL (Select + vISA)" in names
+        assert "CUDA" not in names
+
+    def test_sorted_by_distance_to_ideal(self, cascade, codebase_model):
+        from repro.core.codebase import convergence_by_configuration
+
+        points = navigation_data(
+            cascade, convergence_by_configuration(codebase_model)
+        )
+        dists = [p.distance_to_ideal for p in points]
+        assert dists == sorted(dists)
+
+    def test_ideal_point_distance_zero(self):
+        p = NavigationPoint("ideal", 1.0, 1.0)
+        assert p.distance_to_ideal == 0.0
+
+    def test_invalid_convergence_rejected(self, cascade):
+        with pytest.raises(ValueError):
+            navigation_data(cascade, {"SYCL (Select)": 1.2})

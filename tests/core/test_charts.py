@@ -1,0 +1,75 @@
+"""Tests for the text-art chart renderers."""
+
+import pytest
+
+from repro.core.cascade import CascadeData
+from repro.core.charts import render_cascade, render_navigation
+from repro.core.navigation import NavigationPoint
+
+
+@pytest.fixture
+def tiny_cascade():
+    data = CascadeData(platforms=["Aurora", "Polaris", "Frontier"])
+    data.efficiencies = {
+        "Good": {"Aurora": 0.9, "Polaris": 1.0, "Frontier": 1.0},
+        "Broken": {"Aurora": 0.0, "Polaris": 1.0, "Frontier": 1.0},
+    }
+    data.pp = {"Good": 0.96, "Broken": 0.0}
+    return data
+
+
+class TestCascadeRendering:
+    def test_rows_sorted_by_pp(self, tiny_cascade):
+        text = render_cascade(tiny_cascade)
+        assert text.index("Good") < text.index("Broken")
+
+    def test_pp_values_shown(self, tiny_cascade):
+        text = render_cascade(tiny_cascade)
+        assert "PP=0.96" in text
+        assert "PP=0.00" in text
+
+    def test_platform_glyphs_present(self, tiny_cascade):
+        good_line = next(l for l in render_cascade(tiny_cascade).splitlines() if "Good" in l)
+        assert "A" in good_line
+
+    def test_width_validation(self, tiny_cascade):
+        with pytest.raises(ValueError):
+            render_cascade(tiny_cascade, width=5)
+
+
+class TestNavigationRendering:
+    @pytest.fixture
+    def points(self):
+        return [
+            NavigationPoint("Near-ideal", 0.95, 0.99),
+            NavigationPoint("Diverged", 0.91, 0.78),
+            NavigationPoint("Slow", 0.44, 1.0),
+        ]
+
+    def test_legend_lists_all_points(self, points):
+        text = render_navigation(points)
+        for p in points:
+            assert p.name in text
+
+    def test_grid_contains_indices(self, points):
+        text = render_navigation(points)
+        assert "1" in text and "2" in text and "3" in text
+
+    def test_size_validation(self, points):
+        with pytest.raises(ValueError):
+            render_navigation(points, width=4)
+        with pytest.raises(ValueError):
+            render_navigation(points, height=2)
+
+    def test_real_data_renders(self, reference_trace, codebase_model):
+        from repro.core.cascade import cascade_data
+        from repro.core.codebase import convergence_by_configuration
+        from repro.core.navigation import navigation_data
+
+        cascade = cascade_data(reference_trace)
+        points = navigation_data(
+            cascade, convergence_by_configuration(codebase_model)
+        )
+        text = render_navigation(points)
+        assert "ideal = top-right" in text
+        assert render_cascade(cascade)  # also renders

@@ -1,0 +1,91 @@
+"""Tests for the CRK-HACC codebase model (Table 2 and Figure 13 data)."""
+
+import pytest
+
+from repro.core.codebase import (
+    BUILD_CONFIGS,
+    PAPER_TABLE2,
+    PAPER_TOTAL_SLOC,
+    convergence_by_configuration,
+    table2_rows,
+)
+
+
+class TestTable2Reproduction:
+    def test_total_sloc_exact(self, codebase_model):
+        assert len(codebase_model.all_lines) == PAPER_TOTAL_SLOC
+
+    @pytest.mark.parametrize("label", sorted(PAPER_TABLE2))
+    def test_every_row_matches_paper(self, codebase_model, label):
+        rows = {r["implementations"]: r["sloc"] for r in table2_rows(codebase_model)}
+        if label == "Unused":
+            assert rows["Unused"] == PAPER_TABLE2["Unused"]
+        else:
+            assert rows[label] == PAPER_TABLE2[label]
+
+    def test_small_sets_aggregated_below_50(self, codebase_model):
+        rows = {r["implementations"]: r["sloc"] for r in table2_rows(codebase_model)}
+        other = rows["(other, <50 SLOC)"]
+        assert 0 < other < 150  # a handful of small sets
+
+    def test_percentages_sum_to_100(self, codebase_model):
+        rows = table2_rows(codebase_model)
+        total_pct = sum(r["pct"] for r in rows if r["implementations"] != "Total")
+        assert total_pct == pytest.approx(100.0, abs=0.15)
+
+    def test_sycl_line_inflation_vs_cuda(self, codebase_model):
+        # "SYCL also uses almost 1.7x as many lines as CUDA/HIP"
+        rows = {r["implementations"]: r["sloc"] for r in table2_rows(codebase_model)}
+        sycl_total = rows["SYCL"] + rows["SYCL (-Broadcast)"] + rows["Broadcast"]
+        cuda_total = rows["CUDA"] + rows["HIP"] + rows["HIP and CUDA"]
+        assert sycl_total / cuda_total == pytest.approx(1.78, abs=0.15)
+
+
+class TestBuildConfigs:
+    def test_seven_build_configurations(self):
+        assert len(BUILD_CONFIGS) == 7
+
+    def test_select_and_memory_differ_by_19_lines(self, codebase_model):
+        sel = codebase_model.config_lines["sycl-select"]
+        mem = codebase_model.config_lines["sycl-memory-object"]
+        assert len(sel ^ mem) == 19
+
+    def test_visa_adds_226_lines(self, codebase_model):
+        sel = codebase_model.config_lines["sycl-select"]
+        visa = codebase_model.config_lines["sycl-visa"]
+        assert len(visa - sel) == 226
+
+    def test_unused_is_the_subgrid_code(self, codebase_model):
+        assert len(codebase_model.unused_lines()) == PAPER_TABLE2["Unused"]
+
+
+class TestConvergence:
+    def test_single_source_configs_fully_converged(self, codebase_model):
+        conv = convergence_by_configuration(codebase_model)
+        for name in (
+            "SYCL (Select)",
+            "SYCL (Memory, 32-bit)",
+            "SYCL (Memory, Object)",
+            "SYCL (Broadcast)",
+        ):
+            assert conv[name] == 1.0
+
+    def test_specialised_configs_nearly_converged(self, codebase_model):
+        # Section 6.2: "code convergence of almost 1.0"
+        conv = convergence_by_configuration(codebase_model)
+        assert conv["SYCL (Select + Memory)"] > 0.999
+        assert conv["SYCL (Select + vISA)"] > 0.995
+
+    def test_unified_significantly_diverged(self, codebase_model):
+        # paper reports 0.83; the Table-2 region sizes + pure Jaccard
+        # land at ~0.78 (documented deviation in EXPERIMENTS.md)
+        conv = convergence_by_configuration(codebase_model)
+        assert 0.70 < conv["Unified"] < 0.88
+
+    def test_ordering_matches_paper(self, codebase_model):
+        conv = convergence_by_configuration(codebase_model)
+        assert (
+            conv["Unified"]
+            < conv["SYCL (Select + vISA)"]
+            <= conv["SYCL (Select + Memory)"]
+        )

@@ -1,0 +1,192 @@
+"""Tests for the preprocessor-aware SLOC analyser."""
+
+import textwrap
+
+import pytest
+
+from repro.core.sloc import (
+    ConditionError,
+    analyze_codebase,
+    compiled_lines,
+    evaluate_condition,
+    total_sloc,
+)
+
+
+class TestConditionEvaluation:
+    def test_defined(self):
+        assert evaluate_condition("defined(FOO)", frozenset({"FOO"}))
+        assert not evaluate_condition("defined(FOO)", frozenset())
+
+    def test_boolean_operators(self):
+        defs = frozenset({"A"})
+        assert evaluate_condition("defined(A) || defined(B)", defs)
+        assert not evaluate_condition("defined(A) && defined(B)", defs)
+        assert evaluate_condition("!defined(B)", defs)
+
+    def test_parentheses_and_precedence(self):
+        defs = frozenset({"A", "C"})
+        assert evaluate_condition("defined(A) && (defined(B) || defined(C))", defs)
+        # && binds tighter than ||
+        assert evaluate_condition("defined(B) && defined(B) || defined(C)", defs)
+
+    def test_bare_names_and_literals(self):
+        assert evaluate_condition("FOO", frozenset({"FOO"}))
+        assert evaluate_condition("1", frozenset())
+        assert not evaluate_condition("0", frozenset())
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConditionError):
+            evaluate_condition("defined(A) &&", frozenset())
+        with pytest.raises(ConditionError):
+            evaluate_condition("(defined(A)", frozenset())
+
+
+def write(tmp_path, text, name="test.cpp"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(text))
+    return path
+
+
+class TestCompiledLines:
+    def test_unguarded_lines_always_compiled(self, tmp_path):
+        path = write(tmp_path, "int a = 1;\nint b = 2;\n")
+        lines = compiled_lines(path, frozenset())
+        assert len(lines) == 2
+
+    def test_ifdef_else_branches(self, tmp_path):
+        path = write(
+            tmp_path,
+            """\
+            #ifdef CUDA
+            int cuda_line;
+            #else
+            int other_line;
+            #endif
+            """,
+        )
+        with_cuda = compiled_lines(path, frozenset({"CUDA"}))
+        without = compiled_lines(path, frozenset())
+        assert {ln for _f, ln in with_cuda} == {2}
+        assert {ln for _f, ln in without} == {4}
+
+    def test_elif_chain(self, tmp_path):
+        path = write(
+            tmp_path,
+            """\
+            #if defined(A)
+            int a;
+            #elif defined(B)
+            int b;
+            #else
+            int c;
+            #endif
+            """,
+        )
+        assert {ln for _f, ln in compiled_lines(path, frozenset({"A"}))} == {2}
+        assert {ln for _f, ln in compiled_lines(path, frozenset({"B"}))} == {4}
+        assert {ln for _f, ln in compiled_lines(path, frozenset({"A", "B"}))} == {2}
+        assert {ln for _f, ln in compiled_lines(path, frozenset())} == {6}
+
+    def test_nested_guards(self, tmp_path):
+        path = write(
+            tmp_path,
+            """\
+            #ifdef OUTER
+            int outer;
+            #ifdef INNER
+            int both;
+            #endif
+            #endif
+            """,
+        )
+        assert {ln for _f, ln in compiled_lines(path, frozenset({"OUTER"}))} == {2}
+        assert {ln for _f, ln in compiled_lines(path, frozenset({"OUTER", "INNER"}))} == {2, 4}
+        assert compiled_lines(path, frozenset({"INNER"})) == set()
+
+    def test_ifndef(self, tmp_path):
+        path = write(tmp_path, "#ifndef X\nint line;\n#endif\n")
+        assert len(compiled_lines(path, frozenset())) == 1
+        assert len(compiled_lines(path, frozenset({"X"}))) == 0
+
+    def test_comments_and_blanks_excluded(self, tmp_path):
+        path = write(
+            tmp_path,
+            """\
+            // a comment line
+            int real = 1; // trailing comment
+
+            /* block
+               comment */
+            int other = 2;
+            """,
+        )
+        lines = compiled_lines(path, frozenset())
+        assert {ln for _f, ln in lines} == {2, 6}
+
+    def test_unterminated_if_rejected(self, tmp_path):
+        path = write(tmp_path, "#ifdef A\nint a;\n")
+        with pytest.raises(ConditionError):
+            compiled_lines(path, frozenset())
+
+    def test_stray_endif_rejected(self, tmp_path):
+        path = write(tmp_path, "#endif\n")
+        with pytest.raises(ConditionError):
+            compiled_lines(path, frozenset())
+
+
+class TestCodebaseAnalysis:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        write(
+            tmp_path,
+            """\
+            int shared_1;
+            #ifdef CUDA
+            int cuda_only;
+            #endif
+            #if defined(CUDA) || defined(SYCL)
+            int gpu_shared;
+            #endif
+            #ifdef NEVER
+            int dead;
+            #endif
+            """,
+            name="a.cpp",
+        )
+        write(tmp_path, "int shared_2;\n", name="b.h")
+        return tmp_path
+
+    def test_config_lines(self, tree):
+        analysis = analyze_codebase(
+            tree, {"cuda": frozenset({"CUDA"}), "sycl": frozenset({"SYCL"})}
+        )
+        assert len(analysis.config_lines["cuda"]) == 4  # shared x2, cuda, gpu
+        assert len(analysis.config_lines["sycl"]) == 3
+
+    def test_unused_lines(self, tree):
+        analysis = analyze_codebase(
+            tree, {"cuda": frozenset({"CUDA"}), "sycl": frozenset({"SYCL"})}
+        )
+        assert len(analysis.unused_lines()) == 1  # the NEVER block
+
+    def test_regions(self, tree):
+        analysis = analyze_codebase(
+            tree, {"cuda": frozenset({"CUDA"}), "sycl": frozenset({"SYCL"})}
+        )
+        cuda_only = analysis.region({"cuda"})
+        both = analysis.region({"cuda", "sycl"})
+        assert len(cuda_only) == 1
+        assert len(both) == 3  # shared x2 + gpu_shared
+
+    def test_membership_patterns_partition_used_lines(self, tree):
+        analysis = analyze_codebase(
+            tree, {"cuda": frozenset({"CUDA"}), "sycl": frozenset({"SYCL"})}
+        )
+        patterns = analysis.membership_patterns()
+        total = sum(len(v) for v in patterns.values())
+        assert total == len(analysis.used_lines())
+
+    def test_total_sloc_ignores_directives(self, tree):
+        lines = total_sloc(tree / "a.cpp")
+        assert len(lines) == 4  # the four int declarations

@@ -1,0 +1,80 @@
+"""Tests for standalone-kernel checkpoints (Section 7.2)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hacc.checkpoint import (
+    STANDALONE_KERNELS,
+    KernelCheckpoint,
+    checkpoint_metadata,
+    run_standalone,
+)
+from repro.hacc.particles import Species
+
+
+@pytest.fixture(scope="module")
+def checkpoint(reference_driver):
+    return KernelCheckpoint.capture(reference_driver.particles)
+
+
+class TestCapture:
+    def test_captures_gas_only(self, checkpoint, reference_driver):
+        n_gas = reference_driver.particles.count(Species.BARYON)
+        assert checkpoint.n_particles == n_gas
+
+    def test_fields_finite(self, checkpoint):
+        for name in ("pos", "vel", "mass", "h", "u", "pressure", "cs"):
+            assert np.all(np.isfinite(getattr(checkpoint, name))), name
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, checkpoint, tmp_path):
+        path = tmp_path / "state.npz"
+        checkpoint.save(path)
+        loaded = KernelCheckpoint.load(path)
+        assert loaded.box == checkpoint.box
+        for name in ("pos", "vel", "mass", "h", "u", "volume", "rho", "pressure", "cs"):
+            assert np.array_equal(getattr(loaded, name), getattr(checkpoint, name)), name
+
+    def test_version_mismatch_rejected(self, checkpoint, tmp_path):
+        path = tmp_path / "state.npz"
+        checkpoint.save(path)
+        data = dict(np.load(path))
+        data["version"] = np.array(999)
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            KernelCheckpoint.load(path)
+
+
+class TestStandaloneRuns:
+    @pytest.mark.parametrize("kernel", STANDALONE_KERNELS)
+    def test_every_hot_kernel_runs_standalone(self, checkpoint, kernel):
+        out = run_standalone(checkpoint, kernel)
+        assert out
+        for name, arr in out.items():
+            assert np.all(np.isfinite(arr)), f"{kernel}/{name}"
+
+    def test_unknown_kernel_rejected(self, checkpoint):
+        with pytest.raises(ValueError):
+            run_standalone(checkpoint, "subgrid_agn")
+
+    def test_standalone_matches_pipeline_volume(self, checkpoint):
+        # a standalone Geometry replay is deterministic
+        a = run_standalone(checkpoint, "geometry")["volume"]
+        b = run_standalone(checkpoint, "geometry")["volume"]
+        assert np.array_equal(a, b)
+
+    def test_acceleration_conserves_momentum(self, checkpoint):
+        dv = run_standalone(checkpoint, "acceleration")["dv_dt"]
+        net = (checkpoint.mass[:, None] * dv).sum(axis=0)
+        scale = np.abs(checkpoint.mass[:, None] * dv).sum()
+        assert np.all(np.abs(net) <= 1e-12 * max(scale, 1e-300))
+
+
+class TestMetadata:
+    def test_json_summary(self, checkpoint):
+        meta = json.loads(checkpoint_metadata(checkpoint))
+        assert meta["n_particles"] == checkpoint.n_particles
+        assert meta["format_version"] == 1

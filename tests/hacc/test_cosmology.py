@@ -1,0 +1,101 @@
+"""Tests for the FLRW background."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.cosmology import Cosmology
+from repro.hacc.units import H0_HUNITS
+
+
+@pytest.fixture(scope="module")
+def cosmo():
+    return Cosmology()
+
+
+class TestBackground:
+    def test_a_z_roundtrip(self, cosmo):
+        for z in (0.0, 50.0, 200.0):
+            assert cosmo.z_of_a(cosmo.a_of_z(z)) == pytest.approx(z)
+
+    def test_hubble_today(self, cosmo):
+        assert cosmo.H(1.0) == pytest.approx(H0_HUNITS)
+
+    def test_matter_dominated_limit(self, cosmo):
+        # at high z, E(a) ~ sqrt(Om) a^-1.5
+        a = 1.0 / 201.0
+        assert cosmo.E(a) == pytest.approx(
+            np.sqrt(cosmo.omega_m) * a**-1.5, rel=1e-3
+        )
+
+    def test_flatness(self, cosmo):
+        assert cosmo.omega_m + cosmo.omega_l == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Cosmology(omega_m=0.0)
+        with pytest.raises(ValueError):
+            Cosmology(omega_m=0.3, omega_b=0.4)
+
+    def test_negative_scale_factor_rejected(self, cosmo):
+        with pytest.raises(ValueError):
+            cosmo.z_of_a(0.0)
+
+
+class TestGrowth:
+    def test_normalised_today(self, cosmo):
+        assert cosmo.growth_factor(1.0) == pytest.approx(1.0)
+
+    def test_matter_era_growth_proportional_to_a(self, cosmo):
+        # deep in matter domination D(a) ~ a
+        a1, a2 = 1 / 201.0, 1 / 101.0
+        ratio = cosmo.growth_factor(a2) / cosmo.growth_factor(a1)
+        assert ratio == pytest.approx(a2 / a1, rel=1e-3)
+
+    def test_growth_rate_near_unity_at_high_z(self, cosmo):
+        # f = dlnD/dlna -> 1 in matter domination
+        assert cosmo.growth_rate(1 / 201.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_growth_monotonic(self, cosmo):
+        ds = [cosmo.growth_factor(a) for a in (0.01, 0.1, 0.5, 1.0)]
+        assert ds == sorted(ds)
+
+
+class TestLeapfrogIntegrals:
+    def test_positive_and_additive(self, cosmo):
+        a0, am, a1 = 0.005, 0.01, 0.02
+        whole = cosmo.drift_factor(a0, a1)
+        parts = cosmo.drift_factor(a0, am) + cosmo.drift_factor(am, a1)
+        assert whole == pytest.approx(parts)
+        assert whole > 0
+
+    def test_kick_vs_drift_scaling(self, cosmo):
+        # integrand differs by one power of a < 1: drift > kick there
+        a0, a1 = 0.005, 0.01
+        assert cosmo.drift_factor(a0, a1) > cosmo.kick_factor(a0, a1)
+
+    def test_empty_interval_zero(self, cosmo):
+        assert cosmo.kick_factor(0.01, 0.01) == 0.0
+
+    def test_reversed_interval_rejected(self, cosmo):
+        with pytest.raises(ValueError):
+            cosmo.drift_factor(0.02, 0.01)
+
+
+class TestSchedule:
+    def test_paper_schedule_five_steps_z200_to_50(self, cosmo):
+        edges = cosmo.step_schedule()
+        assert len(edges) == 6
+        assert edges[0] == pytest.approx(1 / 201.0)
+        assert edges[-1] == pytest.approx(1 / 51.0)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_uniform_in_scale_factor(self, cosmo):
+        edges = cosmo.step_schedule()
+        steps = np.diff(edges)
+        assert np.allclose(steps, steps[0])
+
+    def test_invalid_schedule_rejected(self, cosmo):
+        with pytest.raises(ValueError):
+            cosmo.step_schedule(z_initial=50, z_final=200)
+        with pytest.raises(ValueError):
+            cosmo.step_schedule(n_steps=0)

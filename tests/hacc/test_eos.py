@@ -1,0 +1,52 @@
+"""Tests for the ideal-gas equation of state."""
+
+import numpy as np
+import pytest
+
+from repro.hacc import eos
+from repro.hacc.particles import ParticleData, Species
+from repro.hacc.units import GAMMA_ADIABATIC
+
+
+class TestPressure:
+    def test_ideal_gas_law(self):
+        rho = np.array([2.0])
+        u = np.array([3.0])
+        assert eos.pressure(rho, u)[0] == pytest.approx((5 / 3 - 1) * 6.0)
+
+    def test_negative_energy_clamped(self):
+        assert eos.pressure(np.array([1.0]), np.array([-1.0]))[0] == 0.0
+
+    def test_gamma_parameter(self):
+        p = eos.pressure(np.array([1.0]), np.array([1.0]), gamma=2.0)
+        assert p[0] == pytest.approx(1.0)
+
+
+class TestSoundSpeed:
+    def test_definition(self):
+        rho = np.array([2.0])
+        u = np.array([3.0])
+        cs = eos.sound_speed(rho, u)
+        p = eos.pressure(rho, u)
+        assert cs[0] == pytest.approx(np.sqrt(GAMMA_ADIABATIC * p[0] / rho[0]))
+
+    def test_zero_density_gives_zero(self):
+        assert eos.sound_speed(np.array([0.0]), np.array([1.0]))[0] == 0.0
+
+    def test_monotone_in_u(self):
+        rho = np.ones(3)
+        u = np.array([0.1, 1.0, 10.0])
+        cs = eos.sound_speed(rho, u)
+        assert np.all(np.diff(cs) > 0)
+
+
+class TestUpdateThermodynamics:
+    def test_updates_baryons_only(self):
+        p = ParticleData.allocate(4, box=1.0)
+        p.arrays["species"][2:] = int(Species.BARYON)
+        p.arrays["rho"][:] = 1.0
+        p.arrays["u"][:] = 1.0
+        eos.update_thermodynamics(p)
+        assert np.all(p.pressure[:2] == 0.0)  # dark matter untouched
+        assert np.all(p.pressure[2:] > 0.0)
+        assert np.all(p.cs[2:] > 0.0)

@@ -1,0 +1,111 @@
+"""Tests for the FOF / DBSCAN halo finder."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.halo import HaloCatalog, UnionFind, dbscan, fof
+
+
+def make_clusters(rng, box=50.0):
+    """Three compact clusters plus sparse background noise."""
+    centres = np.array([[10.0, 10.0, 10.0], [30.0, 30.0, 30.0], [40.0, 10.0, 25.0]])
+    sizes = [40, 25, 15]
+    blobs = [
+        c + rng.normal(0, 0.3, (n, 3)) for c, n in zip(centres, sizes)
+    ]
+    noise = rng.uniform(0, box, (30, 3))
+    pos = np.vstack(blobs + [noise]) % box
+    return pos, sizes
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert len(set(uf.labels())) == 5
+
+    def test_union_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_path_compression_idempotent(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(i, i + 1)
+        assert len(set(uf.labels())) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+
+class TestFOF:
+    def test_finds_the_clusters(self, rng):
+        pos, sizes = make_clusters(rng)
+        cat = fof(pos, 50.0, linking_length=1.0, min_members=10)
+        assert cat.n_halos == 3
+        assert sorted(cat.sizes.tolist(), reverse=True) == sorted(
+            sizes, reverse=True
+        )
+
+    def test_noise_unlabelled(self, rng):
+        pos, sizes = make_clusters(rng)
+        cat = fof(pos, 50.0, linking_length=1.0, min_members=10)
+        # background particles (last 30) should mostly be field (-1)
+        assert np.mean(cat.labels[-30:] == -1) > 0.8
+
+    def test_linking_length_controls_merging(self, rng):
+        pos, _ = make_clusters(rng)
+        few = fof(pos, 50.0, linking_length=0.1, min_members=10)
+        many = fof(pos, 50.0, linking_length=1.0, min_members=10)
+        assert few.n_halos <= many.n_halos
+
+    def test_members_returns_particle_indices(self, rng):
+        pos, sizes = make_clusters(rng)
+        cat = fof(pos, 50.0, linking_length=1.0, min_members=10)
+        members = cat.members(0)  # largest halo
+        assert len(members) == max(sizes)
+        with pytest.raises(IndexError):
+            cat.members(cat.n_halos)
+
+    def test_periodic_halo_across_boundary(self, rng):
+        # a cluster straddling the box edge is one halo
+        pos = np.vstack(
+            [
+                np.array([0.2, 25.0, 25.0]) + rng.normal(0, 0.2, (20, 3)),
+                np.array([49.8, 25.0, 25.0]) + rng.normal(0, 0.2, (20, 3)),
+            ]
+        ) % 50.0
+        cat = fof(pos, 50.0, linking_length=1.0, min_members=10)
+        assert cat.n_halos == 1
+        assert cat.sizes[0] == 40
+
+
+class TestDBSCAN:
+    def test_reduces_to_fof_for_min_points_2(self, rng):
+        # the equivalence the ArborX collaboration exploits (Section 3.1)
+        pos, _ = make_clusters(rng)
+        f = fof(pos, 50.0, linking_length=1.0, min_members=10)
+        d = dbscan(pos, 50.0, eps=1.0, min_points=2, min_members=10)
+        assert d.n_halos == f.n_halos
+        assert np.array_equal(np.sort(d.sizes), np.sort(f.sizes))
+        # identical partitions up to label renaming
+        for halo in range(f.n_halos):
+            fm = set(f.members(halo).tolist())
+            dm = set(d.members(halo).tolist())
+            assert fm == dm
+
+    def test_high_min_points_prunes_bridges(self, rng):
+        pos, _ = make_clusters(rng)
+        strict = dbscan(pos, 50.0, eps=1.0, min_points=10, min_members=10)
+        loose = dbscan(pos, 50.0, eps=1.0, min_points=2, min_members=10)
+        # stricter core criterion never produces more clustered particles
+        assert (strict.labels >= 0).sum() <= (loose.labels >= 0).sum()
+
+    def test_all_noise_when_sparse(self, rng):
+        pos = rng.uniform(0, 100, (50, 3))
+        cat = dbscan(pos, 100.0, eps=0.5, min_points=5, min_members=5)
+        assert cat.n_halos == 0
+        assert np.all(cat.labels == -1)

@@ -1,0 +1,91 @@
+"""Tests for the second-order LPT initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.cosmology import Cosmology
+from repro.hacc.ic import (
+    ICConfig,
+    displacement_field,
+    second_order_displacement,
+    zeldovich_ics,
+)
+from repro.hacc.mesh import fourier_grid
+from repro.hacc.power import PowerSpectrum
+
+
+@pytest.fixture(scope="module")
+def cosmo_power():
+    c = Cosmology()
+    return c, PowerSpectrum(c)
+
+
+class TestSecondOrderDisplacement:
+    def test_plane_wave_has_zero_second_order(self):
+        # for a single plane wave, phi_,ii phi_,jj == phi_,ij^2
+        n, box = 16, 10.0
+        coords = np.arange(n) * (box / n)
+        x = coords[:, None, None] * np.ones((n, n, n))
+        phi = np.cos(2 * np.pi * x / box)
+        # psi1 = -grad phi: only the x-component is nonzero
+        psi1 = np.zeros((n, n, n, 3))
+        psi1[..., 0] = (2 * np.pi / box) * np.sin(2 * np.pi * x / box)
+        psi2 = second_order_displacement(psi1, box)
+        assert np.abs(psi2).max() < 1e-12 * np.abs(psi1).max()
+
+    def test_second_order_is_small_at_high_z(self, cosmo_power):
+        cosmo, power = cosmo_power
+        config = ICConfig(n_per_side=16, box=10.0, z_initial=200.0, seed=3)
+        psi1, _vel = displacement_field(config, cosmo, power)
+        psi2 = second_order_displacement(psi1, box=10.0)
+        # 2LPT scales as the square of the (tiny) z=200 fluctuations
+        assert np.abs(psi2).max() < 0.05 * np.abs(psi1).max()
+
+    def test_zero_mean(self, cosmo_power):
+        cosmo, power = cosmo_power
+        config = ICConfig(n_per_side=8, box=5.0, seed=9)
+        psi1, _vel = displacement_field(config, cosmo, power)
+        psi2 = second_order_displacement(psi1, box=5.0)
+        assert np.allclose(psi2.mean(axis=(0, 1, 2)), 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            second_order_displacement(np.zeros((4, 4, 4)), 1.0)
+
+    def test_curl_free(self, cosmo_power):
+        # psi2 is a gradient field: its curl vanishes
+        cosmo, power = cosmo_power
+        config = ICConfig(n_per_side=16, box=10.0, seed=5)
+        psi1, _vel = displacement_field(config, cosmo, power)
+        psi2 = second_order_displacement(psi1, box=10.0)
+        kx, ky, kz, _k2 = fourier_grid(16, 10.0)
+        fx = np.fft.rfftn(psi2[..., 0])
+        fy = np.fft.rfftn(psi2[..., 1])
+        curl_z = kx * fy - ky * fx
+        scale = max(np.abs(fx).max(), np.abs(fy).max())
+        assert np.abs(curl_z).max() < 1e-10 * scale
+
+
+class TestLPTOrderOption:
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            ICConfig(lpt_order=3)
+
+    def test_2lpt_particles_generate(self, cosmo_power):
+        cosmo, power = cosmo_power
+        p = zeldovich_ics(
+            ICConfig(n_per_side=6, box=3.0, lpt_order=2), cosmo, power
+        )
+        p.validate()
+        assert len(p) == 2 * 6**3
+
+    def test_2lpt_close_to_zeldovich_at_z200(self, cosmo_power):
+        cosmo, power = cosmo_power
+        base = ICConfig(n_per_side=8, box=4.0, seed=21, lpt_order=1)
+        second = ICConfig(n_per_side=8, box=4.0, seed=21, lpt_order=2)
+        p1 = zeldovich_ics(base, cosmo, power)
+        p2 = zeldovich_ics(second, cosmo, power)
+        d = p1.minimum_image(p1.positions - p2.positions)
+        cell = 4.0 / 8
+        assert np.abs(d).max() < 0.05 * cell  # a sub-percent correction
+        assert np.abs(d).max() > 0.0  # but a real one

@@ -1,0 +1,70 @@
+"""Tests for CIC deposit / interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.mesh import cic_deposit, cic_interpolate, fourier_grid
+
+
+class TestDeposit:
+    def test_mass_conservation(self, rng):
+        pos = rng.uniform(0, 10, (500, 3))
+        w = rng.uniform(0.5, 2.0, 500)
+        mesh = cic_deposit(pos, w, 16, 10.0)
+        assert mesh.sum() == pytest.approx(w.sum())
+
+    def test_particle_at_cell_centre_hits_8_cells(self):
+        pos = np.array([[1.25, 1.25, 1.25]])  # centre of cell (0..) at n=4,box=10
+        mesh = cic_deposit(pos, np.ones(1), 4, 10.0)
+        assert (mesh > 0).sum() == 8
+
+    def test_particle_on_node_hits_one_cell(self):
+        pos = np.array([[2.5, 2.5, 2.5]])  # exactly on a mesh node
+        mesh = cic_deposit(pos, np.ones(1), 4, 10.0)
+        assert (mesh > 0).sum() == 1
+        assert mesh[1, 1, 1] == pytest.approx(1.0)
+
+    def test_periodic_wrapping(self):
+        pos = np.array([[9.9, 0.0, 0.0]])  # straddles the boundary
+        mesh = cic_deposit(pos, np.ones(1), 4, 10.0)
+        assert mesh.sum() == pytest.approx(1.0)
+        assert mesh[3, 0, 0] > 0 and mesh[0, 0, 0] > 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            cic_deposit(np.zeros((3,)), np.ones(3), 4, 1.0)
+
+
+class TestInterpolate:
+    def test_constant_field_exact(self, rng):
+        mesh = np.full((8, 8, 8), 3.5)
+        pos = rng.uniform(0, 10, (100, 3))
+        assert np.allclose(cic_interpolate(mesh, pos, 10.0), 3.5)
+
+    def test_deposit_interpolate_adjoint_for_uniform(self, rng):
+        # interpolating the deposit of uniform particles recovers ~mean
+        n = 8
+        coords = (np.arange(n) + 0.5) * (10.0 / n)
+        gx, gy, gz = np.meshgrid(coords, coords, coords, indexing="ij")
+        pos = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+        mesh = cic_deposit(pos, np.ones(len(pos)), n, 10.0)
+        vals = cic_interpolate(mesh, pos, 10.0)
+        assert np.allclose(vals, 1.0)
+
+    def test_non_cubic_mesh_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cic_interpolate(np.zeros((4, 4, 5)), rng.uniform(0, 1, (2, 3)), 1.0)
+
+
+class TestFourierGrid:
+    def test_shapes(self):
+        kx, ky, kz, k2 = fourier_grid(8, 10.0)
+        assert k2.shape == (8, 8, 5)
+
+    def test_dc_mode_zero(self):
+        _kx, _ky, _kz, k2 = fourier_grid(8, 10.0)
+        assert k2[0, 0, 0] == 0.0
+
+    def test_fundamental_mode(self):
+        kx, _ky, _kz, _k2 = fourier_grid(8, 10.0)
+        assert kx[1, 0, 0] == pytest.approx(2 * np.pi / 10.0)

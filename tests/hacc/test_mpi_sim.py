@@ -1,0 +1,154 @@
+"""Tests for the simulated MPI world and domain decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.mpi_sim import DomainDecomposition, SimWorld
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        world = SimWorld(8)
+        results = world.run(lambda comm: comm.allreduce(comm.Get_rank()))
+        assert results == [28] * 8
+
+    def test_allreduce_min_max(self):
+        world = SimWorld(4)
+        assert world.run(lambda c: c.allreduce(c.Get_rank(), op="max")) == [3] * 4
+        assert world.run(lambda c: c.allreduce(c.Get_rank() + 1, op="min")) == [1] * 4
+
+    def test_bcast_from_nonzero_root(self):
+        world = SimWorld(4)
+        results = world.run(
+            lambda c: c.bcast("payload" if c.Get_rank() == 2 else None, root=2)
+        )
+        assert results == ["payload"] * 4
+
+    def test_gather_only_root_receives(self):
+        world = SimWorld(4)
+        results = world.run(lambda c: c.gather(c.Get_rank() ** 2, root=1))
+        assert results[1] == [0, 1, 4, 9]
+        assert results[0] is None and results[2] is None
+
+    def test_allgather(self):
+        world = SimWorld(3)
+        results = world.run(lambda c: c.allgather(c.Get_rank() * 10))
+        assert results == [[0, 10, 20]] * 3
+
+    def test_alltoall(self):
+        world = SimWorld(3)
+
+        def fn(c):
+            send = [f"{c.Get_rank()}->{dst}" for dst in range(3)]
+            return c.alltoall(send)
+
+        results = world.run(fn)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_reduce_to_root(self):
+        world = SimWorld(4)
+        results = world.run(lambda c: c.reduce(1, root=0))
+        assert results[0] == 4
+        assert results[1] is None
+
+    def test_sequential_collectives_keep_order(self):
+        world = SimWorld(4)
+
+        def fn(c):
+            a = c.allreduce(1)
+            c.barrier()
+            b = c.allgather(c.Get_rank())
+            return (a, tuple(b))
+
+        results = world.run(fn)
+        assert results == [(4, (0, 1, 2, 3))] * 4
+
+    def test_rank_exception_propagates(self):
+        world = SimWorld(2)
+
+        def fn(c):
+            if c.Get_rank() == 1:
+                raise RuntimeError("rank 1 aborts")
+            # rank 0 must not deadlock on a collective rank 1 skipped
+            return c.Get_size()
+
+        with pytest.raises(RuntimeError, match="rank 1 aborts"):
+            world.run(fn)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+
+class TestDecomposition:
+    @pytest.fixture
+    def decomp(self, small_particles):
+        return DomainDecomposition.cubic(small_particles.box, 8, overload=0.1)
+
+    def test_cubic_requires_cubic_count(self, small_particles):
+        with pytest.raises(ValueError):
+            DomainDecomposition.cubic(small_particles.box, 6, overload=0.1)
+
+    def test_eight_ranks_form_2x2x2(self, decomp):
+        assert decomp.ranks_per_dim == (2, 2, 2)
+        assert decomp.n_ranks == 8
+
+    def test_rank_coords_roundtrip(self, decomp):
+        seen = {decomp.rank_coords(r) for r in range(8)}
+        assert len(seen) == 8
+
+    def test_bounds_tile_the_box(self, decomp, small_particles):
+        total = 0.0
+        for r in range(8):
+            lo, hi = decomp.bounds(r)
+            total += np.prod(hi - lo)
+        assert total == pytest.approx(small_particles.box**3)
+
+    def test_owner_matches_bounds(self, decomp, small_particles):
+        owners = decomp.owner_of(small_particles.positions)
+        for r in range(8):
+            lo, hi = decomp.bounds(r)
+            mine = small_particles.positions[owners == r]
+            assert np.all(mine >= lo - 1e-12)
+            assert np.all(mine < hi + 1e-12)
+
+    def test_split_partitions_everything(self, decomp, small_particles):
+        parts = decomp.split(small_particles)
+        assert sum(len(p) for p in parts) == len(small_particles)
+
+    def test_overload_adds_ghosts(self, decomp, small_particles):
+        parts = decomp.split(small_particles)
+        merged = decomp.exchange_overload(parts)
+        for owned, with_ghosts in zip(parts, merged):
+            assert len(with_ghosts) >= len(owned)
+        assert sum(len(m) for m in merged) > len(small_particles)
+
+    def test_ghosts_lie_in_overload_shell(self, decomp, small_particles):
+        parts = decomp.split(small_particles)
+        merged = decomp.exchange_overload(parts)
+        for r in range(8):
+            n_owned = len(parts[r])
+            ghosts = merged[r].positions[n_owned:]
+            if len(ghosts) == 0:
+                continue
+            lo, hi = decomp.bounds(r)
+            half = 0.5 * small_particles.box
+            centre = 0.5 * (lo + hi)
+            d = np.abs(
+                (ghosts - centre + half) % small_particles.box - half
+            )
+            half_width = 0.5 * (hi - lo)
+            assert np.all(d <= half_width + decomp.overload + 1e-12)
+
+    def test_ghost_pids_reference_originals(self, decomp, small_particles):
+        parts = decomp.split(small_particles)
+        merged = decomp.exchange_overload(parts)
+        all_pids = set(small_particles.pid.tolist())
+        for r in range(8):
+            assert set(merged[r].pid.tolist()) <= all_pids
+
+    def test_excessive_overload_rejected(self, small_particles):
+        with pytest.raises(ValueError):
+            DomainDecomposition.cubic(
+                small_particles.box, 8, overload=small_particles.box
+            )

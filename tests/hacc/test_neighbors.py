@@ -1,0 +1,96 @@
+"""Tests for neighbour finding."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.neighbors import (
+    build_neighbor_list,
+    find_pairs,
+    pair_statistics,
+)
+
+
+def brute_force_pairs(pos, box, cutoff):
+    half = 0.5 * box
+    d = pos[:, None, :] - pos[None, :, :]
+    d = (d + half) % box - half
+    r2 = np.einsum("abi,abi->ab", d, d)
+    mask = r2 < cutoff**2
+    np.fill_diagonal(mask, False)
+    return set(zip(*np.nonzero(mask)))
+
+
+class TestFindPairs:
+    def test_matches_brute_force(self, rng):
+        pos = rng.uniform(0, 10, (120, 3))
+        i, j = find_pairs(pos, 10.0, 1.7)
+        assert set(zip(i.tolist(), j.tolist())) == brute_force_pairs(pos, 10.0, 1.7)
+
+    def test_directed_symmetry(self, rng):
+        pos = rng.uniform(0, 10, (80, 3))
+        i, j = find_pairs(pos, 10.0, 2.0)
+        pairs = set(zip(i.tolist(), j.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_periodic_pair_across_boundary(self):
+        pos = np.array([[0.1, 5.0, 5.0], [9.9, 5.0, 5.0]])
+        i, j = find_pairs(pos, 10.0, 0.5)
+        assert len(i) == 2  # both directions
+
+    def test_no_self_pairs(self, rng):
+        pos = rng.uniform(0, 10, (50, 3))
+        i, j = find_pairs(pos, 10.0, 3.0)
+        assert np.all(i != j)
+
+    def test_cross_pairs_against_other_set(self, rng):
+        a = rng.uniform(0, 10, (30, 3))
+        b = rng.uniform(0, 10, (40, 3))
+        i, j = find_pairs(a, 10.0, 2.0, pos_other=b)
+        assert i.max(initial=-1) < 30
+        assert j.max(initial=-1) < 40
+        # verify one pair by hand
+        if len(i):
+            half = 5.0
+            d = a[i[0]] - b[j[0]]
+            d = (d + half) % 10.0 - half
+            assert np.linalg.norm(d) < 2.0
+
+    def test_excessive_cutoff_rejected(self, rng):
+        with pytest.raises(ValueError):
+            find_pairs(rng.uniform(0, 10, (5, 3)), 10.0, 6.0)
+
+    def test_bruteforce_path_for_small_boxes(self, rng):
+        # cutoff big enough that fewer than 3 cells fit per side
+        pos = rng.uniform(0, 10, (40, 3))
+        i, j = find_pairs(pos, 10.0, 4.0)
+        assert set(zip(i.tolist(), j.tolist())) == brute_force_pairs(pos, 10.0, 4.0)
+
+    def test_empty_result(self):
+        pos = np.array([[0.0, 0.0, 0.0], [5.0, 5.0, 5.0]])
+        i, j = find_pairs(pos, 10.0, 0.5)
+        assert len(i) == 0
+
+
+class TestNeighborList:
+    def test_csr_structure_consistent(self, rng):
+        pos = rng.uniform(0, 10, (100, 3))
+        nlist = build_neighbor_list(pos, 10.0, 1.5)
+        assert nlist.start[0] == 0
+        assert nlist.start[-1] == len(nlist.indices)
+        assert np.all(np.diff(nlist.start) >= 0)
+
+    def test_neighbors_of_matches_pairs(self, rng):
+        pos = rng.uniform(0, 10, (60, 3))
+        nlist = build_neighbor_list(pos, 10.0, 2.0)
+        pairs = brute_force_pairs(pos, 10.0, 2.0)
+        for p in range(60):
+            expected = {b for a, b in pairs if a == p}
+            assert set(nlist.neighbors_of(p).tolist()) == expected
+
+    def test_statistics(self, rng):
+        pos = rng.uniform(0, 10, (100, 3))
+        nlist = build_neighbor_list(pos, 10.0, 2.0)
+        stats = pair_statistics(nlist)
+        assert stats["n_particles"] == 100
+        assert stats["n_pairs"] == nlist.n_pairs
+        assert stats["min_neighbors"] <= stats["mean_neighbors"] <= stats["max_neighbors"]

@@ -1,0 +1,106 @@
+"""Tests for the SoA particle container."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.particles import ParticleData, Species
+
+
+@pytest.fixture
+def particles(rng):
+    p = ParticleData.allocate(100, box=10.0)
+    p.set_positions(rng.uniform(0, 10, (100, 3)))
+    p.set_velocities(rng.normal(size=(100, 3)))
+    p.arrays["mass"][:] = 1.5
+    p.arrays["species"][50:] = int(Species.BARYON)
+    return p
+
+
+class TestAllocation:
+    def test_lengths(self, particles):
+        assert len(particles) == 100
+        particles.validate()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleData.allocate(-1, box=1.0)
+
+    def test_zero_box_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleData.allocate(10, box=0.0)
+
+    def test_attribute_access(self, particles):
+        assert particles.x.shape == (100,)
+        with pytest.raises(AttributeError):
+            particles.nonexistent_field
+
+
+class TestSpecies:
+    def test_counts(self, particles):
+        assert particles.count(Species.DARK_MATTER) == 50
+        assert particles.count(Species.BARYON) == 50
+        assert particles.count() == 100
+
+    def test_mask_partition(self, particles):
+        dm = particles.species_mask(Species.DARK_MATTER)
+        ba = particles.species_mask(Species.BARYON)
+        assert np.all(dm ^ ba)
+
+
+class TestSelectionAndMerge:
+    def test_select_copies(self, particles):
+        sel = particles.select(particles.species_mask(Species.BARYON))
+        assert len(sel) == 50
+        sel.arrays["x"][:] = 0.0
+        assert not np.all(particles.x[50:] == 0.0)
+
+    def test_concatenation_preserves_pids(self, particles):
+        ghosts = particles.select(particles.pid < 10)
+        merged = particles.concatenated_with(ghosts)
+        assert len(merged) == 110
+        assert np.array_equal(merged.pid[100:], np.arange(10))
+
+    def test_mismatched_boxes_rejected(self, particles):
+        other = ParticleData.allocate(1, box=20.0)
+        with pytest.raises(ValueError):
+            particles.concatenated_with(other)
+
+
+class TestGeometry:
+    def test_wrap_into_box(self):
+        p = ParticleData.allocate(2, box=10.0)
+        p.set_positions(np.array([[11.0, -1.0, 5.0], [10.0, 0.0, 25.0]]))
+        p.wrap()
+        assert np.all((p.positions >= 0) & (p.positions < 10.0))
+
+    def test_minimum_image_bounds(self, particles):
+        dx = particles.minimum_image(np.array([9.9, -9.9, 5.1]))
+        assert np.all(np.abs(dx) <= 5.0)
+
+    def test_minimum_image_preserves_small_displacements(self, particles):
+        dx = np.array([0.1, -0.2, 0.3])
+        assert np.allclose(particles.minimum_image(dx), dx)
+
+
+class TestDiagnostics:
+    def test_momentum_is_mass_weighted(self, particles):
+        expected = (particles.mass[:, None] * particles.velocities).sum(axis=0)
+        assert np.allclose(particles.total_momentum(), expected)
+
+    def test_kinetic_energy_non_negative(self, particles):
+        assert particles.kinetic_energy() >= 0.0
+
+    def test_thermal_energy_counts_baryons_only(self, particles):
+        particles.arrays["u"][:] = 2.0
+        expected = float(np.sum(particles.mass[50:] * 2.0))
+        assert particles.thermal_energy() == pytest.approx(expected)
+
+    def test_validate_catches_nan(self, particles):
+        particles.arrays["x"][0] = np.nan
+        with pytest.raises(ValueError):
+            particles.validate()
+
+    def test_validate_catches_ragged_fields(self, particles):
+        particles.arrays["mass"] = particles.arrays["mass"][:-1]
+        with pytest.raises(ValueError):
+            particles.validate()

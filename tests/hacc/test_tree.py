@@ -1,0 +1,90 @@
+"""Tests for the RCB tree."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.tree import RCBTree
+
+
+@pytest.fixture
+def tree(rng):
+    pos = rng.uniform(0, 10, (200, 3))
+    return RCBTree.build(pos, leaf_size=16), pos
+
+
+class TestConstruction:
+    def test_leaves_partition_particles(self, tree):
+        t, pos = tree
+        all_indices = np.concatenate([leaf.indices for leaf in t.leaves])
+        assert sorted(all_indices.tolist()) == list(range(len(pos)))
+
+    def test_leaf_sizes_bounded(self, tree):
+        t, _pos = tree
+        assert all(leaf.count <= 16 for leaf in t.leaves)
+
+    def test_median_split_balance(self, rng):
+        pos = rng.uniform(0, 10, (256, 3))
+        t = RCBTree.build(pos, leaf_size=16)
+        counts = [leaf.count for leaf in t.leaves]
+        # median splits of a power-of-two count give exactly equal leaves
+        assert set(counts) == {16}
+
+    def test_leaf_bounding_boxes_contain_members(self, tree):
+        t, pos = tree
+        for leaf in t.leaves:
+            p = pos[leaf.indices]
+            assert np.all(p >= leaf.lo - 1e-12)
+            assert np.all(p <= leaf.hi + 1e-12)
+
+    def test_bad_inputs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RCBTree.build(rng.uniform(0, 1, (10, 2)))
+        with pytest.raises(ValueError):
+            RCBTree.build(rng.uniform(0, 1, (10, 3)), leaf_size=0)
+
+    def test_leaf_of_particle_inverse(self, tree):
+        t, pos = tree
+        lop = t.leaf_of_particle()
+        for li, leaf in enumerate(t.leaves):
+            assert np.all(lop[leaf.indices] == li)
+
+
+class TestLeafPairs:
+    def test_self_pairs_always_included(self, tree):
+        t, _pos = tree
+        pairs = t.leaf_pairs(cutoff=0.5)
+        selfs = {(a, b) for a, b in pairs if a == b}
+        assert len(selfs) == t.n_leaves
+
+    def test_pair_count_grows_with_cutoff(self, tree):
+        t, _pos = tree
+        assert len(t.leaf_pairs(0.5)) <= len(t.leaf_pairs(3.0))
+
+    def test_close_leaves_are_paired(self, rng):
+        pos = rng.uniform(0, 1, (64, 3))  # tight cluster
+        t = RCBTree.build(pos, leaf_size=16)
+        pairs = t.leaf_pairs(cutoff=2.0)
+        n = t.n_leaves
+        assert len(pairs) == n * (n + 1) // 2  # everything within range
+
+    def test_invalid_cutoff(self, tree):
+        t, _pos = tree
+        with pytest.raises(ValueError):
+            t.leaf_pairs(0.0)
+
+
+class TestInteractionInstances:
+    def test_instances_follow_figure4_formula(self, rng):
+        # |A| x |B| / (S/2)^2 instances per leaf pair
+        pos = rng.uniform(0, 1, (32, 3))
+        t = RCBTree.build(pos, leaf_size=16)
+        assert t.n_leaves == 2
+        # 3 pairs (AA, AB, BB), each 16*16/(16*16) = 1 instance
+        assert t.interaction_instances(cutoff=2.0, subgroup_size=32) == 3
+
+    def test_smaller_subgroups_need_more_instances(self, rng):
+        pos = rng.uniform(0, 1, (128, 3))
+        t = RCBTree.build(pos, leaf_size=16)
+        i32 = t.interaction_instances(2.0, 32)
+        i16 = t.interaction_instances(2.0, 16)
+        assert i16 > i32

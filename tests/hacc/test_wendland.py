@@ -1,0 +1,69 @@
+"""Tests for the Wendland C2 kernel family."""
+
+import numpy as np
+import pytest
+
+from repro.hacc.sph.kernels_math import (
+    KERNELS,
+    SUPPORT,
+    cubic_spline,
+    verify_kernel_normalisation,
+    wendland_c2,
+    wendland_c2_derivative,
+)
+
+
+class TestWendlandC2:
+    def test_normalised(self):
+        assert verify_kernel_normalisation("wendland-c2") == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_compact_support_matches_spline(self):
+        r = np.array([2.0, 3.0])
+        h = np.ones(2)
+        assert np.all(wendland_c2(r, h) == 0.0)
+
+    def test_positive_and_monotone(self):
+        r = np.linspace(0, SUPPORT, 100)
+        w = wendland_c2(r, np.ones(100))
+        assert np.all(w[:-1] >= 0)
+        assert np.all(np.diff(w) <= 1e-15)
+
+    def test_derivative_matches_finite_difference(self):
+        r = np.linspace(0.05, 1.9, 100)
+        h = np.ones(100)
+        eps = 1e-6
+        fd = (wendland_c2(r + eps, h) - wendland_c2(r - eps, h)) / (2 * eps)
+        assert np.allclose(wendland_c2_derivative(r, h), fd, atol=1e-6)
+
+    def test_derivative_zero_at_centre_and_edge(self):
+        h = np.ones(2)
+        d = wendland_c2_derivative(np.array([0.0, 2.0]), h)
+        assert d[0] == 0.0
+        assert d[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_scale_invariance(self):
+        r = np.linspace(0, 2.0, 32)
+        h = np.ones(32)
+        s = 2.0
+        lhs = wendland_c2(r, h)
+        rhs = s**3 * wendland_c2(s * r, s * h)
+        assert np.allclose(lhs, rhs)
+
+    def test_flatter_centre_than_cubic_spline(self):
+        # Wendland kernels have a broader, flatter core (the pairing-
+        # instability resistance); the spline is more peaked at r=0
+        h = np.ones(1)
+        assert wendland_c2(np.zeros(1), h)[0] > cubic_spline(np.zeros(1), h)[0]
+
+    def test_registry(self):
+        assert set(KERNELS) == {"cubic-spline", "wendland-c2"}
+        with pytest.raises(ValueError):
+            verify_kernel_normalisation("gaussian")
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            wendland_c2(np.ones(1), np.zeros(1))
+        with pytest.raises(ValueError):
+            wendland_c2_derivative(np.ones(1), np.zeros(1))

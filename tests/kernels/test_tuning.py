@@ -1,0 +1,86 @@
+"""Tests for the per-kernel auto-tuner (the paper's declared future work)."""
+
+import pytest
+
+from repro.kernels.tuning import autotune, tuning_table
+from repro.machine.registry import AURORA, FRONTIER, POLARIS
+
+
+@pytest.fixture(scope="module")
+def tuned(reference_trace):
+    return {
+        dev.system: autotune(reference_trace, dev)
+        for dev in (AURORA, POLARIS, FRONTIER)
+    }
+
+
+class TestAutotune:
+    def test_covers_every_kernel_in_trace(self, tuned, reference_trace):
+        from repro.kernels.specs import TIMER_TO_KERNEL
+
+        expected = {TIMER_TO_KERNEL[i.name] for i in reference_trace.invocations}
+        for result in tuned.values():
+            assert set(result.configs) == expected
+
+    def test_only_legal_configurations_selected(self, tuned):
+        for system, result in tuned.items():
+            from repro.machine.registry import device_by_name
+
+            device = device_by_name(system)
+            for config in result.configs.values():
+                assert config.variant.supported(device)
+                assert config.subgroup_size in device.subgroup_sizes
+                if not device.supports_large_grf:
+                    assert config.grf_mode.value == "small"
+
+    def test_tuned_never_slower_than_baseline(self, tuned):
+        for result in tuned.values():
+            assert result.speedup >= 1.0 - 1e-12
+
+    def test_aurora_gains_most(self, tuned):
+        # the out-of-box configuration (Select, sub-group 32) is worst
+        # on Aurora, so tuning buys the most there
+        assert tuned["Aurora"].speedup > tuned["Polaris"].speedup
+        assert tuned["Aurora"].speedup > tuned["Frontier"].speedup
+        assert tuned["Aurora"].speedup > 2.0
+
+    def test_polaris_tuner_keeps_select(self, tuned):
+        for config in tuned["Polaris"].configs.values():
+            assert config.variant.name == "select"
+
+    def test_visa_never_selected_off_intel(self, tuned):
+        for system in ("Polaris", "Frontier"):
+            for config in tuned[system].configs.values():
+                assert config.variant.name != "visa"
+
+    def test_aurora_tuner_mixes_variants(self, tuned):
+        names = {c.variant.name for c in tuned["Aurora"].configs.values()}
+        assert len(names) >= 2
+
+    def test_tuned_at_least_matches_default_config_search(
+        self, tuned, reference_trace
+    ):
+        # the tuner's space is a superset of best_variant_map's
+        from repro.kernels.adiabatic import best_variant_map, price_trace
+        from repro.proglang.model import ProgrammingModel
+
+        best = best_variant_map(reference_trace, AURORA, ProgrammingModel.SYCL)
+        fixed = price_trace(
+            reference_trace, AURORA, ProgrammingModel.SYCL, best
+        ).total_seconds
+        assert tuned["Aurora"].tuned_seconds <= fixed * (1 + 1e-9)
+
+
+class TestReport:
+    def test_table_renders(self, tuned):
+        text = tuning_table(tuned["Aurora"])
+        assert "Auto-tuning on Aurora" in text
+        assert "sub-group" in text
+
+    def test_bad_trace_rejected(self):
+        from repro.hacc.timestep import WorkloadTrace
+
+        trace = WorkloadTrace()
+        trace.record("upBogus", 10, 5.0)
+        with pytest.raises(KeyError):
+            autotune(trace, AURORA)

@@ -1,0 +1,138 @@
+"""Tests for the variant layer (cost contributions + device rules)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.specs import KERNEL_SPECS
+from repro.kernels.variants import ALL_VARIANTS, Variant, variant_by_name
+from repro.machine.device import GRFMode
+from repro.machine.registry import AURORA, FRONTIER, POLARIS
+
+
+class TestLookup:
+    def test_by_short_name(self):
+        assert variant_by_name("select").name == "select"
+        assert variant_by_name("memory_object").name == "memory_object"
+
+    def test_by_paper_label(self):
+        assert variant_by_name("Memory, 32-bit").name == "memory32"
+        assert variant_by_name("vISA").name == "visa"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            variant_by_name("simd-magic")
+
+    def test_paper_presentation_order(self):
+        assert [v.name for v in ALL_VARIANTS] == [
+            "select",
+            "memory32",
+            "memory_object",
+            "broadcast",
+            "visa",
+        ]
+
+
+class TestSupportMatrix:
+    def test_visa_intel_only(self):
+        visa = variant_by_name("visa")
+        assert visa.supported(AURORA)
+        assert not visa.supported(POLARIS)
+        assert not visa.supported(FRONTIER)
+
+    def test_others_supported_everywhere(self):
+        for v in ALL_VARIANTS:
+            if v.name == "visa":
+                continue
+            for dev in (AURORA, POLARIS, FRONTIER):
+                assert v.supported(dev), (v.name, dev.name)
+
+
+class TestSubgroupChoices:
+    def test_broadcast_uses_16_on_intel(self):
+        # Section 5.3.2: register pressure
+        b = variant_by_name("broadcast")
+        spec = KERNEL_SPECS["acceleration"]
+        assert b.subgroup_size(AURORA, spec) == 16
+        assert b.subgroup_size(POLARIS, spec) == 32
+        assert b.subgroup_size(FRONTIER, spec) == 64
+
+    def test_other_variants_use_device_default(self):
+        spec = KERNEL_SPECS["geometry"]
+        for v in ALL_VARIANTS:
+            if v.name == "broadcast":
+                continue
+            assert v.subgroup_size(FRONTIER, spec) == 64
+
+    def test_large_grf_selected_on_intel(self):
+        # "Almost all results in this paper use 256 registers"
+        for v in ALL_VARIANTS:
+            assert v.grf_mode(AURORA) is GRFMode.LARGE
+            assert v.grf_mode(POLARIS) is GRFMode.SMALL
+
+
+class TestProfileContributions:
+    def test_select_moves_payload_through_shuffles(self):
+        spec = KERNEL_SPECS["acceleration"]
+        pf = variant_by_name("select").profile_fields(spec, POLARIS, 32)
+        assert pf.shuffles == spec.payload_words
+        assert pf.broadcasts == 0
+        assert pf.lm_exchanges_32bit == 0
+
+    def test_memory32_one_roundtrip_per_word(self):
+        spec = KERNEL_SPECS["extras"]
+        pf = variant_by_name("memory32").profile_fields(spec, POLARIS, 32)
+        assert pf.lm_exchanges_32bit == spec.payload_words
+        assert pf.local_mem_bytes_per_workgroup > 0
+
+    def test_memory_object_single_object(self):
+        spec = KERNEL_SPECS["extras"]
+        pf = variant_by_name("memory_object").profile_fields(spec, POLARIS, 32)
+        assert pf.lm_exchange_objects == 1.0
+        assert pf.lm_object_words == spec.payload_words
+
+    def test_broadcast_trades_flops_for_atomics(self):
+        spec = KERNEL_SPECS["energy"]
+        pf = variant_by_name("broadcast").profile_fields(spec, POLARIS, 32)
+        assert pf.flop_factor > 1.0
+        assert pf.atomic_factor < 1.0
+        assert pf.broadcasts == spec.payload_words
+
+    def test_visa_raises_off_intel(self):
+        spec = KERNEL_SPECS["geometry"]
+        with pytest.raises(RuntimeError):
+            variant_by_name("visa").profile_fields(spec, POLARIS, 32)
+
+
+class TestEffectiveRegisters:
+    """Uniform state is stored once per thread on SIMD register files."""
+
+    def test_scalar_regfile_pays_full_price(self):
+        assert Variant.effective_registers(300, 90, POLARIS, 32) == 300
+        assert Variant.effective_registers(300, 90, FRONTIER, 64) == 300
+
+    def test_simd_regfile_shares_uniform_state(self):
+        # 300 total, 90 uniform at sub-group 16: 210 + ceil(90/16) = 216
+        assert Variant.effective_registers(300, 90, AURORA, 16) == 216
+
+    def test_uniform_cannot_exceed_total(self):
+        with pytest.raises(ValueError):
+            Variant.effective_registers(50, 60, AURORA, 16)
+
+    def test_broadcast_fits_on_aurora_but_spills_on_a100(self):
+        # the paper's central register story, as data
+        spec = KERNEL_SPECS["acceleration"]
+        b = variant_by_name("broadcast")
+        pf_aurora = b.profile_fields(spec, AURORA, 16)
+        pf_polaris = b.profile_fields(spec, POLARIS, 32)
+        budget_aurora = AURORA.registers_per_workitem(16, GRFMode.LARGE)
+        assert pf_aurora.registers <= budget_aurora
+        assert pf_polaris.registers > POLARIS.max_regs_per_workitem
+
+
+class TestFunctionalExchanges:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.name)
+    def test_exchange_equals_gather(self, variant, rng):
+        values = rng.random(16)
+        partner = rng.permutation(16)
+        out = variant.exchange(values, partner, {})
+        assert np.allclose(out, values[partner])

@@ -1,0 +1,39 @@
+"""Tests for the atomic cost model (Section 5.1)."""
+
+import pytest
+
+from repro.machine.atomics import AtomicOp, AtomicsModel
+from repro.machine.registry import AURORA, FRONTIER, POLARIS
+
+
+class TestNativeness:
+    def test_atomic_add_native_everywhere(self):
+        for dev in (AURORA, POLARIS, FRONTIER):
+            assert AtomicsModel(dev).is_native(AtomicOp.ADD)
+
+    def test_float_minmax_emulated_only_on_nvidia(self):
+        assert AtomicsModel(AURORA).is_native(AtomicOp.MIN)
+        assert AtomicsModel(FRONTIER).is_native(AtomicOp.MAX)
+        assert not AtomicsModel(POLARIS).is_native(AtomicOp.MIN)
+        assert not AtomicsModel(POLARIS).is_native(AtomicOp.MAX)
+
+
+class TestCosts:
+    def test_emulated_minmax_pays_cas_factor(self):
+        model = AtomicsModel(POLARIS)
+        add = model.cycles(AtomicOp.ADD)
+        mn = model.cycles(AtomicOp.MIN)
+        assert mn == pytest.approx(add * POLARIS.cas_emulation_factor)
+
+    def test_native_minmax_same_as_add(self):
+        model = AtomicsModel(FRONTIER)
+        assert model.cycles(AtomicOp.MIN) == model.cycles(AtomicOp.ADD)
+
+    def test_count_scales_linearly(self):
+        model = AtomicsModel(AURORA)
+        assert model.cycles(AtomicOp.ADD, 5) == pytest.approx(
+            5 * model.cycles(AtomicOp.ADD, 1)
+        )
+
+    def test_zero_count_free(self):
+        assert AtomicsModel(POLARIS).cycles(AtomicOp.MIN, 0.0) == 0.0

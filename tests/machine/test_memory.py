@@ -1,0 +1,72 @@
+"""Tests for the memory hierarchy cost model."""
+
+import pytest
+
+from repro.machine.memory import L1_HIT_BENEFIT, MemoryModel
+from repro.machine.registry import AURORA, FRONTIER, POLARIS
+
+
+class TestLocalExchange:
+    def test_32bit_exchange_pays_one_barrier_per_word(self):
+        mm = MemoryModel(FRONTIER)
+        one = mm.local_exchange(1, workgroup_size=128, separate_barriers=True)
+        four = mm.local_exchange(4, workgroup_size=128, separate_barriers=True)
+        # 4 words = 4x the word cost and 4x the barrier cost
+        assert four.cycles == pytest.approx(4 * one.cycles)
+
+    def test_object_exchange_amortises_barriers(self):
+        mm = MemoryModel(FRONTIER)
+        words = 12
+        c32 = words * mm.local_exchange(
+            1, workgroup_size=128, separate_barriers=True
+        ).cycles
+        cobj = mm.local_exchange(
+            words, workgroup_size=128, separate_barriers=False
+        ).cycles
+        assert cobj < c32
+
+    def test_object_exchange_reserves_more_local_memory(self):
+        mm = MemoryModel(POLARIS)
+        c32 = mm.local_exchange(1, workgroup_size=128, separate_barriers=True)
+        cobj = mm.local_exchange(12, workgroup_size=128, separate_barriers=False)
+        assert cobj.local_mem_bytes_per_workgroup == 12 * c32.local_mem_bytes_per_workgroup
+
+    def test_single_word_object_vs_32bit_equal_words(self):
+        mm = MemoryModel(AURORA)
+        c32 = mm.local_exchange(1, workgroup_size=128, separate_barriers=True)
+        cobj = mm.local_exchange(1, workgroup_size=128, separate_barriers=False)
+        assert c32.cycles == pytest.approx(cobj.cycles)
+
+
+class TestL1Contention:
+    def test_no_contention_without_shared_l1(self):
+        assert MemoryModel(AURORA).l1_contention_factor(200) == 1.0
+        assert MemoryModel(FRONTIER).l1_contention_factor(200) == 1.0
+
+    def test_nvidia_contention_grows_with_registers(self):
+        # Section 5.4: memory variants hurt most on register-heavy kernels
+        mm = MemoryModel(POLARIS)
+        assert mm.l1_contention_factor(110) > mm.l1_contention_factor(40) > 1.0
+
+
+class TestEffectiveBandwidth:
+    def test_full_l1_gives_full_boost(self):
+        mm = MemoryModel(POLARIS)
+        bw = mm.effective_bandwidth(0.0)
+        base = POLARIS.hbm_bandwidth_gbs * 1e9
+        assert bw == pytest.approx(base * (1 + L1_HIT_BENEFIT))
+
+    def test_carveout_reduces_bandwidth_on_nvidia(self):
+        mm = MemoryModel(POLARIS)
+        free = mm.effective_bandwidth(0.0)
+        carved = mm.effective_bandwidth(POLARIS.local_mem_per_cu_kib * 1024)
+        assert carved < free
+        assert carved == pytest.approx(POLARIS.hbm_bandwidth_gbs * 1e9)
+
+    def test_carveout_irrelevant_on_dedicated_lds(self):
+        mm = MemoryModel(FRONTIER)
+        assert mm.effective_bandwidth(0.0) == mm.effective_bandwidth(64 * 1024)
+
+    def test_memory_time_linear_in_bytes(self):
+        mm = MemoryModel(AURORA)
+        assert mm.memory_time(2e9) == pytest.approx(2 * mm.memory_time(1e9))

@@ -1,0 +1,59 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.machine.registry import AURORA, FRONTIER, POLARIS
+from repro.machine.roofline import (
+    format_roofline,
+    ridge_point,
+    roofline_for_trace,
+    roofline_point,
+)
+
+
+class TestRidgePoint:
+    def test_peak_over_bandwidth(self):
+        assert ridge_point(POLARIS) == pytest.approx(
+            POLARIS.peak_flops / (POLARIS.hbm_bandwidth_gbs * 1e9)
+        )
+
+    def test_all_devices_have_sane_ridges(self):
+        # modern GPUs sit in the 5-30 flops/byte range
+        for dev in (AURORA, POLARIS, FRONTIER):
+            assert 2.0 < ridge_point(dev) < 40.0
+
+
+class TestRooflinePoint:
+    def test_sph_kernels_are_compute_bound(self):
+        # tens of interactions per particle, each re-using the staged
+        # payload: the hot kernels sit right of the ridge
+        for timer in ("upGeo", "upBarAc", "upBarDu"):
+            p = roofline_point(FRONTIER, timer, 64.0, 4096)
+            assert p.bound == "compute", timer
+            assert p.arithmetic_intensity > p.ridge_point
+
+    def test_achieved_below_ceiling(self):
+        for timer in ("upGeo", "upCor", "upBarAc"):
+            p = roofline_point(AURORA, timer, 64.0, 1 << 18)
+            assert 0.0 < p.ceiling_fraction <= 1.0
+
+    def test_intensity_grows_with_interactions(self):
+        lo = roofline_point(POLARIS, "upGeo", 16.0, 4096)
+        hi = roofline_point(POLARIS, "upGeo", 256.0, 4096)
+        assert hi.arithmetic_intensity > lo.arithmetic_intensity
+
+    def test_unknown_timer_rejected(self):
+        with pytest.raises(KeyError):
+            roofline_point(POLARIS, "upNothing", 64.0, 4096)
+
+
+class TestTraceRoofline:
+    def test_one_point_per_distinct_timer(self, reference_trace):
+        points = roofline_for_trace(reference_trace, FRONTIER)
+        names = {p.kernel for p in points}
+        assert names == {inv.name for inv in reference_trace.invocations}
+
+    def test_format_renders(self, reference_trace):
+        text = format_roofline(roofline_for_trace(reference_trace, AURORA))
+        assert "ridge" in text
+        assert "upGeo" in text

@@ -1,0 +1,36 @@
+"""Tests for writing the migrated SYCL project to disk."""
+
+from repro.migrate.pipeline import MigrationPipeline, bundled_kernel_sources
+
+
+class TestRunDirectoryTo:
+    def test_writes_sources_and_headers(self, tmp_path):
+        pipeline = MigrationPipeline(optimize=True)
+        results = pipeline.run_directory_to(
+            bundled_kernel_sources(), tmp_path / "sycl"
+        )
+        out = tmp_path / "sycl"
+        sources = sorted(p.name for p in out.glob("*.sycl.cpp"))
+        assert sources == [
+            "acceleration.sycl.cpp",
+            "corrections.sycl.cpp",
+            "energy.sycl.cpp",
+            "extras.sycl.cpp",
+            "geometry.sycl.cpp",
+        ]
+        headers = sorted(p.name for p in out.glob("*_functor.h"))
+        assert "update_geometry_functor.h" in headers
+        assert len(headers) == sum(len(r.kernel_names) for r in results.values())
+
+    def test_written_source_is_the_optimized_form(self, tmp_path):
+        pipeline = MigrationPipeline(optimize=True)
+        pipeline.run_directory_to(bundled_kernel_sources(), tmp_path / "sycl")
+        text = (tmp_path / "sycl" / "geometry.sycl.cpp").read_text()
+        assert "sycl::native::" in text or "sycl::sqrt" in text
+        assert "__global__" not in text
+
+    def test_header_included_from_source(self, tmp_path):
+        pipeline = MigrationPipeline()
+        pipeline.run_directory_to(bundled_kernel_sources(), tmp_path / "sycl")
+        text = (tmp_path / "sycl" / "energy.sycl.cpp").read_text()
+        assert '#include "update_energy_functor.h"' in text

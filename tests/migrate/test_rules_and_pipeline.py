@@ -1,0 +1,197 @@
+"""Tests for the migration rules, SYCLomatic stage, functorizer and
+end-to-end pipeline (Section 4)."""
+
+import pytest
+
+from repro.migrate.functorize import functorize, generate_header
+from repro.migrate.parser import parse_cuda_source
+from repro.migrate.pipeline import MigrationPipeline, bundled_kernel_sources
+from repro.migrate.rules import (
+    apply_rules,
+    migration_rules,
+    optimization_rules,
+)
+from repro.migrate.syclomatic import migrate_kernel_body, migrate_source
+
+
+class TestIndexMapping:
+    def test_cuda_x_maps_to_sycl_dim_2(self):
+        out, _ = migrate_kernel_body("int t = threadIdx.x + blockIdx.x;")
+        assert "item.get_local_id(2)" in out
+        assert "item.get_group(2)" in out
+
+    def test_cuda_z_maps_to_sycl_dim_0(self):
+        out, _ = migrate_kernel_body("int t = threadIdx.z;")
+        assert "item.get_local_id(0)" in out
+
+    def test_block_dims(self):
+        out, _ = migrate_kernel_body("int s = blockDim.y * gridDim.y;")
+        assert "item.get_local_range(1)" in out
+        assert "item.get_group_range(1)" in out
+
+
+class TestSynchronisation:
+    def test_syncthreads(self):
+        out, _ = migrate_kernel_body("__syncthreads();")
+        assert "item.barrier(sycl::access::fence_space::local_space)" in out
+
+
+class TestShuffles:
+    def test_shfl_xor_gets_project_wrapper(self):
+        out, _ = migrate_kernel_body(
+            "float v = __shfl_xor_sync(0xffffffff, x, 16);"
+        )
+        assert "hacc::shuffle_xor(item.get_sub_group(), x, 16)" in out
+
+    def test_plain_shfl_becomes_select(self):
+        out, _ = migrate_kernel_body("float v = __shfl_sync(0xffffffff, x, 0);")
+        assert "sycl::select_from_group(item.get_sub_group(), x, 0)" in out
+
+
+class TestAtomics:
+    def test_atomic_add_wrapper(self):
+        out, _ = migrate_kernel_body("atomicAdd(&acc[i], f);")
+        assert "hacc::atomic_add(acc[i], f)" in out
+
+    def test_atomic_min_wrapper(self):
+        # Section 5.1: SYCL exposes float fetch_min everywhere
+        out, _ = migrate_kernel_body("atomicMin(&dt[0], x);")
+        assert "hacc::atomic_min(dt[0], x)" in out
+
+
+class TestDiagnostics:
+    def test_ldg_removed_with_diagnostic(self):
+        out, diags = migrate_kernel_body("float x = __ldg(&data[i]);")
+        assert "__ldg" not in out
+        assert "data[i]" in out
+        assert any(d.code == "DPCT1026" for d in diags)
+
+    def test_frexp_precision_diagnostic(self):
+        out, diags = migrate_kernel_body("float m = frexpf(x, &e);")
+        assert "sycl::frexp(" in out
+        assert any(d.code == "DPCT1017" for d in diags)
+
+    def test_clean_code_no_diagnostics(self):
+        _out, diags = migrate_kernel_body("int t = threadIdx.x;")
+        assert diags == []
+
+
+class TestOptimizationRules:
+    """Section 5.1: the hardware-agnostic SYCL 2020 rewrites."""
+
+    def test_uniform_shuffle_becomes_broadcast(self):
+        text = "float v = sycl::select_from_group(sg, x, 0);"
+        out, _ = apply_rules(text, optimization_rules())
+        assert "sycl::group_broadcast(sg, x, 0)" in out
+
+    def test_shuffle_reduction_becomes_group_reduce(self):
+        text = "float s = hacc::shuffle_reduce_sum(sg, partial);"
+        out, _ = apply_rules(text, optimization_rules())
+        assert "sycl::reduce_over_group(sg, partial, sycl::plus<>())" in out
+
+    def test_native_math_substitution(self):
+        text = "float p = sycl::pow(a, b) + sycl::rsqrt(c);"
+        out, _ = apply_rules(text, optimization_rules())
+        assert "sycl::native::powr(" in out
+        assert "sycl::native::rsqrt(" in out
+
+    def test_lane_index_builtin(self):
+        text = (
+            "int lane = item.get_local_id(2) % "
+            "item.get_sub_group().get_local_range()[0];"
+        )
+        out, _ = apply_rules(text, optimization_rules())
+        assert "item.get_sub_group().get_local_id()" in out
+
+
+class TestStage1:
+    def test_kernel_becomes_free_function_with_item(self):
+        src = "__global__ void k(float* d, int n) { d[threadIdx.x] = n; }"
+        result = migrate_source(src)
+        assert "void k(float* d, int n, const sycl::nd_item<3>& item)" in result.source
+        assert "__global__" not in result.source
+
+    def test_launch_becomes_lambda_submission(self):
+        src = (
+            "__global__ void k(float* d) { d[0] = 1.0f; }\n"
+            "void host(float* d) { k<<<grid, 128>>>(d); }"
+        )
+        result = migrate_source(src)
+        assert "q.parallel_for(" in result.source
+        assert "[=](sycl::nd_item<3> item)" in result.source
+
+    def test_header_substitution(self):
+        src = '#include "hacc_cuda.h"\n__global__ void k(int n) { }\n'
+        result = migrate_source(src)
+        assert "#include <sycl/sycl.hpp>" in result.source
+        assert "hacc_sycl.h" in result.source
+
+
+class TestFunctorizer:
+    def test_header_one_argument_per_line(self):
+        # the structure behind Table 2's ~6,000-line inflation
+        src = "__global__ void my_kernel(float* a, float* b, int n) { }"
+        kernel = parse_cuda_source(src).kernels[0]
+        header = generate_header(kernel)
+        assert "struct MyKernelKernel : public hacc::KernelBase {" in header
+        assert "  float* a;" in header
+        assert "  float* b;" in header
+        assert "  int n;" in header
+        assert "void operator()(const sycl::nd_item<3>& item) const;" in header
+
+    def test_launch_constructs_named_functor(self):
+        src = (
+            "__global__ void my_kernel(float* a) { a[0] = 1.0f; }\n"
+            "void host(float* a) { my_kernel<<<g, 128>>>(a); }"
+        )
+        stage1 = migrate_source(src)
+        result = functorize(stage1, src)
+        assert "MyKernelKernel(local, a)" in result.source
+        assert "[=]" not in result.source  # no unnamed lambdas left
+
+    def test_call_operator_in_source_file(self):
+        src = "__global__ void my_kernel(int n) { int t = threadIdx.x; }"
+        result = functorize(migrate_source(src), src)
+        assert (
+            "void MyKernelKernel::operator()(const sycl::nd_item<3>& item) const"
+            in result.source
+        )
+        assert "item.get_local_id(2)" in result.source
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return MigrationPipeline(optimize=True).run_directory(bundled_kernel_sources())
+
+    def test_every_hot_kernel_migrates(self, results):
+        assert set(results) == {
+            "geometry",
+            "corrections",
+            "extras",
+            "acceleration",
+            "energy",
+        }
+        for name, r in results.items():
+            assert r.kernel_names, name
+            assert r.functors.headers, name
+
+    def test_no_cuda_constructs_survive(self, results):
+        for name, r in results.items():
+            for token in ("__global__", "threadIdx", "__shfl", "atomicAdd", "__ldg"):
+                assert token not in r.optimized_source, (name, token)
+
+    def test_geometry_reports_ldg_diagnostics(self, results):
+        codes = [d.code for d in results["geometry"].diagnostics]
+        assert codes.count("DPCT1026") == 3  # three __ldg calls
+
+    def test_extras_reports_frexp_diagnostic(self, results):
+        codes = [d.code for d in results["extras"].diagnostics]
+        assert "DPCT1017" in codes
+
+    def test_optimize_flag_controls_native_math(self):
+        src = bundled_kernel_sources()["geometry"]
+        plain = MigrationPipeline(optimize=False).run(src)
+        opt = MigrationPipeline(optimize=True).run(src)
+        assert "sycl::native::" not in plain.optimized_source
+        assert "sycl::sqrt(" in plain.optimized_source

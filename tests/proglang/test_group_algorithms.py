@@ -1,0 +1,118 @@
+"""Tests for the SYCL 2020 group-algorithm intrinsics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.proglang import intrinsics as I
+
+
+@pytest.fixture
+def lanes():
+    return np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+
+
+class TestScans:
+    def test_inclusive_sum(self, lanes):
+        out = I.inclusive_scan_over_group(lanes)
+        assert np.array_equal(out, np.cumsum(lanes))
+
+    def test_exclusive_sum_shifts_by_one(self, lanes):
+        inc = I.inclusive_scan_over_group(lanes)
+        exc = I.exclusive_scan_over_group(lanes)
+        assert exc[0] == 0.0
+        assert np.array_equal(exc[1:], inc[:-1])
+
+    def test_exclusive_custom_identity(self, lanes):
+        exc = I.exclusive_scan_over_group(lanes, identity=7.0)
+        assert exc[0] == 7.0
+
+    def test_max_scan_monotone(self, lanes):
+        out = I.inclusive_scan_over_group(lanes, op="max")
+        assert np.all(np.diff(out) >= 0)
+
+    def test_unknown_op(self, lanes):
+        with pytest.raises(ValueError):
+            I.inclusive_scan_over_group(lanes, op="prod")
+
+
+class TestPredicates:
+    def test_any_all_none(self):
+        pred = np.array([False, False, True, False])
+        assert np.all(I.any_of_group(pred))
+        assert not np.any(I.all_of_group(pred))
+        assert not np.any(I.none_of_group(pred))
+
+    def test_all_false(self):
+        pred = np.zeros(8, dtype=bool)
+        assert not np.any(I.any_of_group(pred))
+        assert np.all(I.none_of_group(pred))
+
+    def test_uniform_result_across_lanes(self):
+        pred = np.array([True, False, False, False])
+        for fn in (I.any_of_group, I.all_of_group, I.none_of_group):
+            out = fn(pred)
+            assert len(set(out.tolist())) == 1
+
+
+class TestShifts:
+    def test_shift_left_reads_higher_lanes(self, lanes):
+        out = I.shift_group_left(lanes, 2)
+        assert np.array_equal(out[:6], lanes[2:])
+        assert np.all(out[6:] == 0.0)
+
+    def test_shift_right_reads_lower_lanes(self, lanes):
+        out = I.shift_group_right(lanes, 3, fill=-1.0)
+        assert np.array_equal(out[3:], lanes[:5])
+        assert np.all(out[:3] == -1.0)
+
+    def test_shift_roundtrip_interior(self, lanes):
+        back = I.shift_group_right(I.shift_group_left(lanes, 1), 1)
+        assert np.array_equal(back[1:], lanes[1:])
+
+    def test_delta_bounds(self, lanes):
+        with pytest.raises(ValueError):
+            I.shift_group_left(lanes, 9)
+        with pytest.raises(ValueError):
+            I.shift_group_right(lanes, -1)
+
+    def test_full_shift_all_fill(self, lanes):
+        assert np.all(I.shift_group_left(lanes, 8, fill=5.0) == 5.0)
+
+
+class TestPermuteByXor:
+    def test_alias_of_shuffle_xor(self, lanes):
+        assert np.array_equal(
+            I.permute_group_by_xor(lanes, 5), I.shuffle_xor(lanes, 5)
+        )
+
+
+class TestScanProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.sampled_from([4, 8, 16, 32]),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    def test_scan_last_element_is_reduction(self, values):
+        scan = I.inclusive_scan_over_group(values)
+        total = I.reduce_over_group(values)[0]
+        assert scan[-1] == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.sampled_from([4, 8, 16]),
+            elements=st.floats(0.0, 100.0, allow_nan=False),
+        ),
+        st.integers(0, 16),
+    )
+    def test_shift_preserves_interior_values(self, values, delta):
+        if delta > len(values):
+            return
+        out = I.shift_group_left(values, delta)
+        kept = len(values) - delta
+        assert np.array_equal(out[:kept], values[delta:])

@@ -1,0 +1,101 @@
+"""Tests for the CRK-HACC-style launch wrapper (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.proglang.launch import KernelFunctionObject, LaunchWrapper, LocalAccessor
+
+
+class DoubleKernel(KernelFunctionObject):
+    NAME = "double"
+    LOCAL_MEM_WORDS = 1
+
+    def __call__(self, x):
+        return 2 * np.asarray(x)
+
+
+class ExchangeKernel(KernelFunctionObject):
+    NAME = "exchange"
+    LOCAL_MEM_WORDS = 4
+
+    def __call__(self, values, src, via="select"):
+        if via == "select":
+            return self.exchange_select(values, src)
+        if via == "memory":
+            return self.exchange_local_memory(values, src)
+        return self.exchange_butterfly(values, src)
+
+
+@pytest.fixture
+def wrapper():
+    w = LaunchWrapper(workgroup_size=128)
+    w.register(DoubleKernel)
+    w.register(ExchangeKernel)
+    return w
+
+
+class TestRegistry:
+    def test_by_name_membership(self, wrapper):
+        assert "double" in wrapper
+        assert "exchange" in wrapper
+        assert "missing" not in wrapper
+
+    def test_duplicate_registration_rejected(self, wrapper):
+        with pytest.raises(ValueError):
+            wrapper.register(DoubleKernel)
+
+    def test_non_kernel_class_rejected(self, wrapper):
+        with pytest.raises(TypeError):
+            wrapper.register(object)
+
+    def test_unknown_name_raises(self, wrapper):
+        with pytest.raises(KeyError):
+            wrapper.construct("missing")
+
+    def test_iteration_sorted(self, wrapper):
+        assert list(wrapper) == ["double", "exchange"]
+
+
+class TestLocalAccessorSizing:
+    def test_sized_by_largest_object_times_workgroup(self, wrapper):
+        # Section 5.3.1's sizing rule
+        acc = wrapper.local_accessor_for(ExchangeKernel)
+        assert acc.nbytes == 4 * 4 * 128
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LocalAccessor(-1)
+
+    def test_scratch_reuse_and_reshape(self):
+        acc = LocalAccessor(64)
+        a = acc.scratch("x", (4,))
+        b = acc.scratch("x", (4,))
+        assert a is b
+        c = acc.scratch("x", (8,))
+        assert c.shape == (8,)
+
+
+class TestLaunching:
+    def test_parallel_for_invokes_by_name(self, wrapper):
+        out = wrapper.parallel_for("double", [1, 2, 3])
+        assert np.array_equal(out, [2, 4, 6])
+
+    def test_exchange_variants_agree(self, wrapper):
+        # Section 5.3.1: the local-memory exchange behaves identically
+        # to select_from_group -- the one-line macro swap
+        values = np.arange(16.0)
+        src = np.arange(16)[::-1].copy()
+        via_select = wrapper.parallel_for("exchange", values, src, "select")
+        via_memory = wrapper.parallel_for("exchange", values, src, "memory")
+        assert np.array_equal(via_select, via_memory)
+
+    def test_butterfly_exchange_method(self, wrapper):
+        values = np.arange(16.0)
+        out = wrapper.parallel_for("exchange", values, 2, "butterfly")
+        from repro.proglang.intrinsics import butterfly_partner
+
+        assert np.array_equal(out, values[butterfly_partner(16, 2)])
+
+    def test_base_call_operator_abstract(self):
+        with pytest.raises(NotImplementedError):
+            KernelFunctionObject()(1)

@@ -1,0 +1,84 @@
+"""Property-based tests for the P3 metrics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.divergence import code_divergence, jaccard_distance
+from repro.core.metrics import harmonic_mean, performance_portability
+
+efficiencies = st.lists(st.floats(0.01, 1.0), min_size=1, max_size=8)
+line_sets = st.sets(st.integers(0, 200), max_size=60)
+
+
+class TestHarmonicMeanProperties:
+    @given(efficiencies)
+    def test_bounded_by_min_and_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-12 <= hm <= max(values) + 1e-12
+
+    @given(efficiencies)
+    def test_below_arithmetic_mean(self, values):
+        assert harmonic_mean(values) <= sum(values) / len(values) + 1e-12
+
+    @given(st.floats(0.01, 1.0), st.integers(1, 8))
+    def test_constant_list_is_identity(self, value, n):
+        assert harmonic_mean([value] * n) == pytest_approx(value)
+
+    @given(efficiencies, st.floats(0.01, 1.0))
+    def test_monotone_in_each_argument(self, values, bump):
+        worse = list(values)
+        worse[0] = min(worse[0], bump) * 0.5
+        assert harmonic_mean(worse) <= harmonic_mean(values) + 1e-12
+
+
+class TestPPProperties:
+    @given(efficiencies)
+    def test_pp_in_unit_interval(self, values):
+        pp = performance_portability(values)
+        assert 0.0 <= pp <= 1.0
+
+    @given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=6))
+    def test_adding_a_zero_platform_zeroes_pp(self, values):
+        assert performance_portability(values + [0.0]) == 0.0
+
+    @given(st.lists(st.floats(0.5, 1.0), min_size=1, max_size=6))
+    def test_high_efficiency_everywhere_high_pp(self, values):
+        assert performance_portability(values) >= 0.5
+
+
+class TestJaccardProperties:
+    @given(line_sets, line_sets)
+    def test_symmetric_and_bounded(self, a, b):
+        d = jaccard_distance(a, b)
+        assert d == jaccard_distance(b, a)
+        assert 0.0 <= d <= 1.0
+
+    @given(line_sets)
+    def test_identity(self, a):
+        assert jaccard_distance(a, a) == 0.0
+
+    @given(line_sets, line_sets, line_sets)
+    def test_triangle_inequality(self, a, b, c):
+        # Jaccard distance is a metric
+        dab = jaccard_distance(a, b)
+        dbc = jaccard_distance(b, c)
+        dac = jaccard_distance(a, c)
+        assert dac <= dab + dbc + 1e-12
+
+
+class TestDivergenceProperties:
+    @given(st.dictionaries(st.sampled_from("ABCD"), line_sets, min_size=2, max_size=4))
+    def test_bounded(self, platform_lines):
+        d = code_divergence(platform_lines)
+        assert 0.0 <= d <= 1.0
+
+    @given(line_sets, st.integers(2, 5))
+    def test_identical_platforms_zero(self, lines, n):
+        platform_lines = {f"P{i}": set(lines) for i in range(n)}
+        assert code_divergence(platform_lines) == 0.0
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value)

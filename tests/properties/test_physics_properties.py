@@ -1,0 +1,136 @@
+"""Property-based tests on the physics substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hacc.cosmology import Cosmology
+from repro.hacc.halo import UnionFind
+from repro.hacc.mesh import cic_deposit
+from repro.hacc.neighbors import find_pairs
+from repro.hacc.sph.kernels_math import SUPPORT, cubic_spline
+
+
+class TestCosmologyProperties:
+    @given(st.floats(0.005, 1.0), st.floats(0.005, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_leapfrog_integrals_additive(self, a_lo, a_hi):
+        a0, a1 = sorted((a_lo, a_hi))
+        mid = 0.5 * (a0 + a1)
+        cosmo = Cosmology()
+        whole = cosmo.kick_factor(a0, a1)
+        parts = cosmo.kick_factor(a0, mid) + cosmo.kick_factor(mid, a1)
+        assert whole == np.float64(whole)
+        assert abs(whole - parts) < 1e-10 * max(abs(whole), 1e-12)
+
+    @given(st.floats(0.01, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_growth_in_unit_interval(self, a):
+        d = Cosmology().growth_factor(a)
+        assert 0.0 < d <= 1.0 + 1e-9
+
+
+class TestKernelProperties:
+    @given(
+        hnp.arrays(np.float64, (20,), elements=st.floats(0.0, 5.0)),
+        st.floats(0.2, 3.0),
+    )
+    def test_kernel_non_negative_and_supported(self, r, h):
+        w = cubic_spline(r, np.full_like(r, h))
+        assert np.all(w >= 0)
+        assert np.all(w[r >= SUPPORT * h] == 0.0)
+
+    @given(st.floats(0.2, 3.0), st.floats(1.1, 4.0))
+    def test_kernel_scale_invariance(self, h, scale):
+        # W(r, h) = s^3 W(s r, s h)
+        r = np.linspace(0, 2 * h, 32)
+        lhs = cubic_spline(r, np.full_like(r, h))
+        rhs = scale**3 * cubic_spline(scale * r, np.full_like(r, scale * h))
+        assert np.allclose(lhs, rhs, rtol=1e-10, atol=1e-14)
+
+
+class TestMeshProperties:
+    @given(
+        hnp.arrays(
+            np.float64, (30, 3), elements=st.floats(0.0, 9.999, allow_nan=False)
+        ),
+        hnp.arrays(np.float64, (30,), elements=st.floats(0.1, 5.0)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cic_conserves_mass(self, pos, weights):
+        mesh = cic_deposit(pos, weights, 8, 10.0)
+        assert mesh.sum() == np.float64(mesh.sum())
+        assert abs(mesh.sum() - weights.sum()) < 1e-9 * max(weights.sum(), 1.0)
+
+    @given(
+        hnp.arrays(
+            np.float64, (30, 3), elements=st.floats(0.0, 9.999, allow_nan=False)
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cic_non_negative(self, pos):
+        mesh = cic_deposit(pos, np.ones(30), 8, 10.0)
+        assert np.all(mesh >= -1e-15)
+
+
+class TestNeighborProperties:
+    @given(
+        hnp.arrays(
+            np.float64, (25, 3), elements=st.floats(0.0, 9.999, allow_nan=False)
+        ),
+        st.floats(0.3, 4.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pairs_symmetric_and_within_cutoff(self, pos, cutoff):
+        i, j = find_pairs(pos, 10.0, cutoff)
+        pairs = set(zip(i.tolist(), j.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+        half = 5.0
+        d = (pos[i] - pos[j] + half) % 10.0 - half
+        r = np.linalg.norm(d, axis=1)
+        assert np.all(r < cutoff + 1e-12)
+
+    @given(
+        hnp.arrays(
+            np.float64, (25, 3), elements=st.floats(0.0, 9.999, allow_nan=False)
+        ),
+        st.floats(0.3, 2.0),
+        st.floats(1.01, 2.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pair_count_monotone_in_cutoff(self, pos, cutoff, factor):
+        small = len(find_pairs(pos, 10.0, cutoff)[0])
+        large = len(find_pairs(pos, 10.0, min(cutoff * factor, 4.9))[0])
+        assert large >= small
+
+
+class TestUnionFindProperties:
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40))
+    def test_labels_form_valid_partition(self, unions):
+        uf = UnionFind(20)
+        for a, b in unions:
+            uf.union(a, b)
+        labels = uf.labels()
+        # every label is a member of its own class (canonical roots)
+        for i, lab in enumerate(labels):
+            assert labels[lab] == lab
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40))
+    def test_union_order_irrelevant(self, unions):
+        uf1 = UnionFind(20)
+        uf2 = UnionFind(20)
+        for a, b in unions:
+            uf1.union(a, b)
+        for a, b in reversed(unions):
+            uf2.union(a, b)
+        l1, l2 = uf1.labels(), uf2.labels()
+        # identical partitions (labels may differ by representative)
+        groups1 = {}
+        groups2 = {}
+        for i in range(20):
+            groups1.setdefault(l1[i], set()).add(i)
+            groups2.setdefault(l2[i], set()).add(i)
+        assert sorted(map(frozenset, groups1.values())) == sorted(
+            map(frozenset, groups2.values())
+        )

@@ -1,0 +1,58 @@
+"""Property-based tests for the SLOC analyser's condition language."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sloc import evaluate_condition
+
+names = st.sampled_from(["A", "B", "C", "HACC_GPU_SYCL", "HACC_GPU_CUDA"])
+define_sets = st.frozensets(names, max_size=5)
+
+
+@st.composite
+def conditions(draw, depth=0):
+    """Random well-formed guard expressions."""
+    if depth > 2:
+        return f"defined({draw(names)})"
+    kind = draw(st.sampled_from(["leaf", "not", "and", "or", "paren"]))
+    if kind == "leaf":
+        return f"defined({draw(names)})"
+    if kind == "not":
+        return "!" + draw(conditions(depth=depth + 1))
+    if kind == "paren":
+        return "(" + draw(conditions(depth=depth + 1)) + ")"
+    op = "&&" if kind == "and" else "||"
+    left = draw(conditions(depth=depth + 1))
+    right = draw(conditions(depth=depth + 1))
+    return f"{left} {op} {right}"
+
+
+class TestConditionProperties:
+    @given(conditions(), define_sets)
+    def test_total_function(self, condition, defines):
+        # every generated condition evaluates without error to a bool
+        assert evaluate_condition(condition, defines) in (True, False)
+
+    @given(conditions(), define_sets)
+    def test_double_negation(self, condition, defines):
+        assert evaluate_condition(f"!(!({condition}))", defines) == evaluate_condition(
+            condition, defines
+        )
+
+    @given(conditions(), conditions(), define_sets)
+    def test_de_morgan(self, p, q, defines):
+        lhs = evaluate_condition(f"!(({p}) && ({q}))", defines)
+        rhs = evaluate_condition(f"!({p}) || !({q})", defines)
+        assert lhs == rhs
+
+    @given(conditions(), define_sets)
+    def test_or_with_true_is_true(self, condition, defines):
+        assert evaluate_condition(f"1 || ({condition})", defines)
+
+    @given(conditions(), define_sets)
+    def test_and_with_false_is_false(self, condition, defines):
+        assert not evaluate_condition(f"0 && ({condition})", defines)
+
+    @given(names, define_sets)
+    def test_defined_matches_membership(self, name, defines):
+        assert evaluate_condition(f"defined({name})", defines) == (name in defines)

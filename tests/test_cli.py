@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(sub.choices) == {
+            "simulate",
+            "price",
+            "tune",
+            "migrate",
+            "report",
+            "figures",
+            "export",
+            "validate",
+            "roofline",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_simulate_tiny(self, capsys):
+        assert main(["simulate", "-n", "4", "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel launches recorded" in out
+
+    def test_price_reports_timers(self, capsys):
+        assert main(["price", "Frontier", "--variant", "memory_object"]) == 0
+        out = capsys.readouterr().out
+        assert "upGeo" in out
+        assert "total" in out
+
+    def test_price_unsupported_combination_fails(self, capsys):
+        assert main(["price", "Polaris", "--variant", "visa"]) == 1
+        assert "does not compile" in capsys.readouterr().err
+
+    def test_price_cuda_on_aurora_fails(self, capsys):
+        assert main(["price", "Aurora", "--model", "cuda"]) == 1
+
+    def test_tune(self, capsys):
+        assert main(["tune", "Aurora"]) == 0
+        out = capsys.readouterr().out
+        assert "Auto-tuning on Aurora" in out
+
+    def test_migrate(self, capsys):
+        assert main(["migrate"]) == 0
+        out = capsys.readouterr().out
+        assert "geometry" in out
+        assert "inflation" in out
+
+    def test_export(self, tmp_path, capsys):
+        target = tmp_path / "artifacts.json"
+        assert main(["export", "-o", str(target)]) == 0
+        import json
+
+        document = json.loads(target.read_text())
+        assert document["schema_version"] == 1
+
+    def test_validate_healthy_run(self, capsys):
+        assert main(["validate", "-n", "6", "--steps", "1"]) == 0
+        assert "validation: OK" in capsys.readouterr().out
+
+    def test_roofline(self, capsys):
+        assert main(["roofline", "Frontier"]) == 0
+        out = capsys.readouterr().out
+        assert "ridge" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "# CRK-HACC SYCL performance-portability reproduction" in text
+        assert "Figure 12" in text
+        assert "Table 2" in text

@@ -1,0 +1,100 @@
+"""Tests for the MPI_wtime-style bracket timers."""
+
+import pytest
+
+from repro.machine.cost_model import InstructionProfile, KernelLaunch
+from repro.machine.executor import DeviceExecutor
+from repro.machine.registry import FRONTIER
+from repro.timers import TimerRegistry, validate_against_profiler
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestBracketTimers:
+    def test_bracket_accumulates(self):
+        clock = FakeClock()
+        timers = TimerRegistry(clock)
+        timers.start("a")
+        clock.t = 1.5
+        timers.stop("a")
+        timers.start("a")
+        clock.t = 2.0
+        timers.stop("a")
+        assert timers.total("a") == pytest.approx(2.0)
+        assert timers.calls("a") == 2
+
+    def test_context_manager(self):
+        clock = FakeClock()
+        timers = TimerRegistry(clock)
+        with timers.bracket("x"):
+            clock.t = 3.0
+        assert timers.total("x") == pytest.approx(3.0)
+
+    def test_double_start_rejected(self):
+        timers = TimerRegistry(FakeClock())
+        timers.start("a")
+        with pytest.raises(RuntimeError):
+            timers.start("a")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            TimerRegistry(FakeClock()).stop("never")
+
+    def test_report_sorted_by_total(self):
+        clock = FakeClock()
+        timers = TimerRegistry(clock)
+        with timers.bracket("small"):
+            clock.t += 1.0
+        with timers.bracket("big"):
+            clock.t += 5.0
+        report = timers.report()
+        assert [r["timer"] for r in report] == ["big", "small"]
+        assert report[0]["mean_s"] == pytest.approx(5.0)
+
+    def test_unknown_timer_reads_zero(self):
+        timers = TimerRegistry(FakeClock())
+        assert timers.total("nothing") == 0.0
+
+
+class TestProfilerValidation:
+    """The Section 3.4.4 rocprof cross-check, in miniature."""
+
+    def _run(self, bracket_correctly=True):
+        executor = DeviceExecutor(FRONTIER)
+        timers = TimerRegistry.over_executor(executor)
+        profile = InstructionProfile(fma=500.0, registers_needed=32)
+        launch = KernelLaunch(n_workitems=1 << 16, subgroup_size=64)
+        for name in ("upGeo", "upCor"):
+            if bracket_correctly:
+                with timers.bracket(name):
+                    executor.submit(name, profile, launch)
+            else:
+                executor.submit(name, profile, launch)  # missed bracket
+        return timers, executor
+
+    def test_brackets_agree_with_profiler(self):
+        timers, executor = self._run()
+        diffs = validate_against_profiler(timers, executor)
+        assert all(d <= 1e-9 for d in diffs.values())
+
+    def test_missing_bracket_detected(self):
+        timers, executor = self._run(bracket_correctly=False)
+        with pytest.raises(ValueError):
+            validate_against_profiler(timers, executor)
+
+    def test_total_gpu_bracket(self):
+        # the CRK-HACC timer that brackets *all* offloaded operations
+        executor = DeviceExecutor(FRONTIER)
+        timers = TimerRegistry.over_executor(executor)
+        profile = InstructionProfile(fma=500.0, registers_needed=32)
+        launch = KernelLaunch(n_workitems=1 << 16, subgroup_size=64)
+        with timers.bracket("gpu_total"):
+            for name in ("upGeo", "upCor", "upBarEx"):
+                executor.submit(name, profile, launch)
+        assert timers.total("gpu_total") == pytest.approx(executor.total_seconds())
