@@ -29,6 +29,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"2x {args.n}^3 particles, box {config.box:.2f} Mpc/h, "
         f"{args.steps} steps z={config.z_initial:.0f} -> {config.z_final:.0f}"
     )
+
+    resilient = (
+        args.ranks > 1
+        or args.faults
+        or args.restart_from
+        or args.checkpoint_dir
+    )
+    if resilient:
+        return _simulate_resilient(args, config)
+
     driver = AdiabaticDriver(config)
     for diag in driver.run():
         print(
@@ -38,6 +48,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     print(f"kernel launches recorded: {len(driver.trace.invocations)}")
     return 0
+
+
+def _simulate_resilient(args: argparse.Namespace, config) -> int:
+    """The fault-tolerant multi-rank path of ``simulate``."""
+    from repro.resilience import (
+        FaultPlan,
+        RetryPolicy,
+        SimulationAborted,
+        run_simulation,
+    )
+
+    from repro.hacc.checkpoint import CheckpointError
+
+    if args.ranks < 1:
+        print("error: --ranks must be >= 1")
+        return 2
+    if args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1")
+        return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0")
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive")
+        return 2
+
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            print(f"error: invalid --faults plan: {exc}")
+            return 2
+        print(fault_plan.describe())
+    try:
+        result = run_simulation(
+            config,
+            world_size=args.ranks,
+            timeout=args.timeout,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            restart_from=args.restart_from,
+            fault_plan=fault_plan,
+            retry_policy=RetryPolicy(max_retries=args.max_retries),
+            echo=print,
+        )
+    except CheckpointError as exc:
+        print(f"error: cannot restart: {exc}")
+        return 2
+    except SimulationAborted as exc:
+        print(f"simulation lost: {exc}")
+        for rec in exc.attempts:
+            print(f"  attempt {rec.attempt}: {rec.outcome} ({rec.failure})")
+        return 1
+    for diag in result.driver.diagnostics:
+        print(
+            f"a={diag.a:.5f}  KE={diag.kinetic_energy:.4e}  "
+            f"thermal={diag.thermal_energy:.4e}  "
+            f"max_delta={diag.max_density_contrast:.2f}"
+        )
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def _cmd_price(args: argparse.Namespace) -> int:
@@ -152,6 +224,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="run the mini-app")
     p.add_argument("-n", type=int, default=8, help="particles per side (2x n^3)")
     p.add_argument("--steps", type=int, default=5)
+    p.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        help="simulated MPI ranks (>1 enables the fault-tolerant runner)",
+    )
+    p.add_argument(
+        "--faults",
+        help=(
+            "fault plan, e.g. 'kill:rank=3,step=1;"
+            "corrupt:kernel=upBarAc,step=2,mode=nan'"
+        ),
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="checkpoint cadence in steps (with --checkpoint-dir)",
+    )
+    p.add_argument("--checkpoint-dir", help="directory for simulation checkpoints")
+    p.add_argument("--restart-from", help="resume from a simulation checkpoint file")
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="collective timeout (seconds)"
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=3, help="restart budget after failures"
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("price", help="price the reference workload")

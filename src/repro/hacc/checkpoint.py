@@ -11,6 +11,7 @@ and to develop the Section 5 variants.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -25,7 +26,30 @@ from repro.hacc.sph.extras import compute_extras
 from repro.hacc.sph.geometry import compute_geometry
 from repro.hacc.sph.pairs import PairContext
 
-FORMAT_VERSION = 1
+#: version 2 added the payload checksum; version-1 files stay loadable
+FORMAT_VERSION = 2
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable, truncated, corrupt, or of an
+    unsupported format version."""
+
+
+def payload_digest(arrays: dict[str, np.ndarray]) -> str:
+    """Order-independent SHA-256 digest of named array payloads.
+
+    Hashes each entry's name, dtype, shape, and raw bytes, so any
+    bitflip in the stored data (or a silently dropped field) changes
+    the digest.
+    """
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(np.asarray(arrays[name]))
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -61,45 +85,67 @@ class KernelCheckpoint:
             cs=particles.cs[idx].copy(),
         )
 
+    _PAYLOAD_FIELDS = (
+        "pos", "vel", "mass", "h", "u", "volume", "rho", "pressure", "cs",
+    )
+
+    def _payload(self) -> dict[str, np.ndarray]:
+        payload = {name: getattr(self, name) for name in self._PAYLOAD_FIELDS}
+        payload["box"] = np.float64(self.box)
+        return payload
+
     def save(self, path: str | Path) -> Path:
         path = Path(path)
+        payload = self._payload()
         np.savez_compressed(
             path,
             version=FORMAT_VERSION,
-            box=self.box,
-            pos=self.pos,
-            vel=self.vel,
-            mass=self.mass,
-            h=self.h,
-            u=self.u,
-            volume=self.volume,
-            rho=self.rho,
-            pressure=self.pressure,
-            cs=self.cs,
+            checksum=payload_digest(payload),
+            **payload,
         )
         return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
     @classmethod
     def load(cls, path: str | Path) -> "KernelCheckpoint":
-        with np.load(Path(path)) as data:
-            version = int(data["version"])
-            if version != FORMAT_VERSION:
-                raise ValueError(
-                    f"checkpoint format {version} not supported "
-                    f"(expected {FORMAT_VERSION})"
+        """Load a checkpoint, raising :class:`CheckpointError` on any
+        truncated, corrupt, incomplete, or unsupported file."""
+        path = Path(path)
+        try:
+            with np.load(path) as data:
+                try:
+                    version = int(data["version"])
+                except KeyError:
+                    raise CheckpointError(
+                        f"{path}: not a kernel checkpoint (no version field)"
+                    ) from None
+                if version not in (1, FORMAT_VERSION):
+                    raise CheckpointError(
+                        f"{path}: checkpoint format {version} not supported "
+                        f"(expected <= {FORMAT_VERSION})"
+                    )
+                wanted = cls._PAYLOAD_FIELDS + ("box",)
+                missing = [name for name in wanted if name not in data.files]
+                if missing:
+                    raise CheckpointError(
+                        f"{path}: checkpoint missing field(s) {missing}"
+                    )
+                payload = {name: data[name] for name in wanted}
+                if version >= 2:
+                    stored = str(data["checksum"])
+                    actual = payload_digest(payload)
+                    if stored != actual:
+                        raise CheckpointError(
+                            f"{path}: checksum mismatch "
+                            f"(stored {stored[:12]}..., data {actual[:12]}...)"
+                        )
+                return cls(
+                    box=float(payload["box"]),
+                    **{name: payload[name] for name in cls._PAYLOAD_FIELDS},
                 )
-            return cls(
-                box=float(data["box"]),
-                pos=data["pos"],
-                vel=data["vel"],
-                mass=data["mass"],
-                h=data["h"],
-                u=data["u"],
-                volume=data["volume"],
-                rho=data["rho"],
-                pressure=data["pressure"],
-                cs=data["cs"],
-            )
+        except CheckpointError:
+            raise
+        except Exception as exc:  # zipfile/pickle/OS errors -> one clear type
+            raise CheckpointError(f"{path}: unreadable checkpoint ({exc})") from exc
 
     @property
     def n_particles(self) -> int:

@@ -12,11 +12,33 @@ It also provides HACC's 3-D block domain decomposition with "overload"
 (ghost) particle exchange: each rank holds copies of neighbouring
 particles within an overload shell of its boundary, which is what lets
 the short-range solvers run without per-pair communication.
+
+Self-healing collectives (mpi4py-compatibility notes)
+-----------------------------------------------------
+Production CRK-HACC campaigns survive node failures only because runs
+fail loudly and restart from checkpoints; a collective that blocks
+forever on a dead rank is the worst possible failure mode.  Every
+:class:`SimComm` collective therefore accepts an optional ``timeout``
+keyword (seconds) defaulting to the world-level
+:attr:`SimWorld.timeout`.  When a peer rank dies, or the timeout
+elapses before all ranks arrive, the survivors raise
+:class:`RankFailure` instead of deadlocking, and the
+:class:`SimWorld` supervisor records an obituary (which rank died,
+and why) in :attr:`SimWorld.obituaries`.
+
+The ``timeout`` keyword is an *extension* over mpi4py: real
+``MPI.COMM_WORLD`` collectives have no timeout parameter, so code that
+must stay drop-in portable should leave ``timeout`` unset (``None``
+at the world level reproduces mpi4py's blocking behaviour exactly).
+Under real MPI the equivalent protection comes from the ULFM
+fault-tolerance extensions or from an external watchdog; the
+:class:`RankFailure` exception maps onto ``MPI.ERR_PROC_FAILED``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -25,20 +47,67 @@ import numpy as np
 from repro.hacc.particles import ParticleData
 
 
+class RankFailure(RuntimeError):
+    """A collective could not complete because a peer rank died or the
+    rendezvous timed out.
+
+    Raised on every *surviving* rank (the failed rank raises its own
+    original exception), mirroring ULFM's ``MPI.ERR_PROC_FAILED``.
+    """
+
+    def __init__(self, message: str, failed_ranks: Sequence[int] = ()):
+        super().__init__(message)
+        self.failed_ranks = tuple(failed_ranks)
+
+
+@dataclass(frozen=True)
+class RankObituary:
+    """Supervisor record of one rank's death."""
+
+    rank: int
+    reason: str
+    exception: BaseException
+
+
 class _Rendezvous:
     """One collective-operation meeting point for ``size`` ranks."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, dead: set[int] | None = None):
         self.size = size
         self._cond = threading.Condition()
         self._values: list[Any] = [None] * size
         self._arrived = 0
         self._generation = 0
+        # initialised eagerly: a wakeup before the first completed
+        # generation must never read an undefined attribute
+        self._result: list[Any] | None = None
+        self._dead: set[int] = set(dead or ())
 
-    def exchange(self, rank: int, value: Any) -> list[Any]:
-        """Deposit ``value``; blocks until all ranks arrive, then every
-        rank receives the full value list."""
+    def mark_dead(self, rank: int) -> None:
+        """Record a dead rank and wake every waiter so it can fail."""
         with self._cond:
+            self._dead.add(rank)
+            self._cond.notify_all()
+
+    def _fail(self, timed_out: float | None = None) -> RankFailure:
+        if self._dead:
+            detail = f"rank(s) {sorted(self._dead)} died"
+        else:
+            detail = f"timed out after {timed_out:.1f}s"
+        return RankFailure(
+            f"collective aborted: {detail}", failed_ranks=sorted(self._dead)
+        )
+
+    def exchange(self, rank: int, value: Any, timeout: float | None = None) -> list[Any]:
+        """Deposit ``value``; blocks until all ranks arrive, then every
+        rank receives the full value list.
+
+        Raises :class:`RankFailure` if a participating rank has been
+        marked dead, or if ``timeout`` (seconds) elapses first.
+        """
+        with self._cond:
+            if self._dead:
+                raise self._fail()
             generation = self._generation
             self._values[rank] = value
             self._arrived += 1
@@ -48,13 +117,27 @@ class _Rendezvous:
                 self._result = list(self._values)
                 self._cond.notify_all()
             else:
-                while self._generation == generation:
-                    self._cond.wait()
+                deadline = None if timeout is None else time.monotonic() + timeout
+                # predicate guards against spurious wakeups: only a
+                # completed generation (or a death/timeout) ends the wait
+                while self._generation == generation and not self._dead:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise self._fail(timed_out=timeout)
+                    self._cond.wait(remaining)
+                if self._generation == generation:
+                    raise self._fail(timed_out=timeout)
             return self._result
 
 
 class SimComm:
-    """A thread-backed stand-in for ``mpi4py.MPI.COMM_WORLD``."""
+    """A thread-backed stand-in for ``mpi4py.MPI.COMM_WORLD``.
+
+    All collectives take an optional ``timeout`` keyword (see module
+    docstring) defaulting to the world-level setting.
+    """
 
     def __init__(self, world: "SimWorld", rank: int):
         self._world = world
@@ -66,34 +149,42 @@ class SimComm:
     def Get_size(self) -> int:
         return self._world.size
 
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        values = self._world.rendezvous("bcast").exchange(self._rank, obj)
-        return values[root]
+    def _exchange(self, kind: str, value: Any, timeout: float | None) -> list[Any]:
+        if timeout is None:
+            timeout = self._world.timeout
+        self._world.pre_collective(kind, self._rank)
+        return self._world.rendezvous(kind).exchange(self._rank, value, timeout)
 
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        values = self._world.rendezvous("gather").exchange(self._rank, obj)
+    def bcast(self, obj: Any, root: int = 0, timeout: float | None = None) -> Any:
+        return self._exchange("bcast", obj, timeout)[root]
+
+    def gather(
+        self, obj: Any, root: int = 0, timeout: float | None = None
+    ) -> list[Any] | None:
+        values = self._exchange("gather", obj, timeout)
         return values if self._rank == root else None
 
-    def allgather(self, obj: Any) -> list[Any]:
-        return self._world.rendezvous("allgather").exchange(self._rank, obj)
+    def allgather(self, obj: Any, timeout: float | None = None) -> list[Any]:
+        return self._exchange("allgather", obj, timeout)
 
-    def allreduce(self, value: Any, op: str = "sum") -> Any:
-        values = self._world.rendezvous("allreduce").exchange(self._rank, value)
-        return _reduce(values, op)
+    def allreduce(self, value: Any, op: str = "sum", timeout: float | None = None) -> Any:
+        return _reduce(self._exchange("allreduce", value, timeout), op)
 
-    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any | None:
-        values = self._world.rendezvous("reduce").exchange(self._rank, value)
+    def reduce(
+        self, value: Any, op: str = "sum", root: int = 0, timeout: float | None = None
+    ) -> Any | None:
+        values = self._exchange("reduce", value, timeout)
         return _reduce(values, op) if self._rank == root else None
 
-    def alltoall(self, sendbuf: list[Any]) -> list[Any]:
+    def alltoall(self, sendbuf: list[Any], timeout: float | None = None) -> list[Any]:
         """Each rank sends ``sendbuf[r]`` to rank r."""
         if len(sendbuf) != self._world.size:
             raise ValueError("alltoall send buffer must have one entry per rank")
-        values = self._world.rendezvous("alltoall").exchange(self._rank, sendbuf)
+        values = self._exchange("alltoall", sendbuf, timeout)
         return [values[src][self._rank] for src in range(self._world.size)]
 
-    def barrier(self) -> None:
-        self._world.rendezvous("barrier").exchange(self._rank, None)
+    def barrier(self, timeout: float | None = None) -> None:
+        self._exchange("barrier", None, timeout)
 
     # lowercase aliases (mpi4py exposes both spellings for some ops)
     Barrier = barrier
@@ -113,27 +204,73 @@ def _reduce(values: list[Any], op: str) -> Any:
 
 
 class SimWorld:
-    """A simulated MPI world of ``size`` ranks (threads)."""
+    """A simulated MPI world of ``size`` ranks (threads).
 
-    def __init__(self, size: int):
+    ``timeout`` is the default collective timeout in seconds (``None``
+    keeps mpi4py's indefinitely-blocking behaviour).  The world acts as
+    a supervisor: a rank thread that dies is recorded in
+    :attr:`obituaries` and every in-flight or future collective on the
+    surviving ranks raises :class:`RankFailure`.
+    """
+
+    def __init__(self, size: int, timeout: float | None = None):
         if size < 1:
             raise ValueError("world size must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         self.size = size
+        self.timeout = timeout
         self._lock = threading.Lock()
         self._rendezvous: dict[str, _Rendezvous] = {}
         self._sequence: dict[str, int] = {}
+        self._obituaries: dict[int, RankObituary] = {}
+        #: hook called before each collective (kind, rank); the fault
+        #: injector uses it to stall a collective past its timeout
+        self.pre_collective_hook: Callable[[str, int], None] | None = None
+
+    # -- supervisor ----------------------------------------------------
+    @property
+    def obituaries(self) -> dict[int, RankObituary]:
+        """Which ranks died, and why (rank -> obituary)."""
+        with self._lock:
+            return dict(self._obituaries)
+
+    @property
+    def dead_ranks(self) -> set[int]:
+        with self._lock:
+            return set(self._obituaries)
+
+    def mark_rank_dead(self, rank: int, exc: BaseException, reason: str = "") -> None:
+        """Record a rank's death and wake all blocked collectives."""
+        with self._lock:
+            if rank in self._obituaries:
+                return
+            self._obituaries[rank] = RankObituary(
+                rank=rank, reason=reason or f"{type(exc).__name__}: {exc}", exception=exc
+            )
+            points = list(self._rendezvous.values())
+        for rv in points:
+            rv.mark_dead(rank)
+
+    def pre_collective(self, kind: str, rank: int) -> None:
+        hook = self.pre_collective_hook
+        if hook is not None:
+            hook(kind, rank)
 
     def rendezvous(self, kind: str) -> _Rendezvous:
         """The current meeting point for collective ``kind``.
 
         A fresh rendezvous is created per collective *call site epoch*;
         ranks calling collectives in the same order (required by MPI
-        semantics) always agree on the epoch.
+        semantics) always agree on the epoch.  New meeting points are
+        born knowing which ranks have already died, so a survivor
+        entering a later collective fails immediately instead of
+        waiting out the timeout.
         """
         with self._lock:
             rv = self._rendezvous.get(kind)
             if rv is None or rv._generation > 0:
-                rv = _Rendezvous(self.size)
+                rv = _Rendezvous(self.size, dead=set(self._obituaries))
                 self._rendezvous[kind] = rv
             return rv
 
@@ -142,7 +279,9 @@ class SimWorld:
 
         Exceptions in any rank are re-raised in the caller (after all
         threads finish), matching the fail-fast behaviour of an MPI
-        abort.
+        abort.  The *root-cause* exception is preferred: if one rank
+        died of a real error and the others of the induced
+        :class:`RankFailure`, the real error is what propagates.
         """
         results: list[Any] = [None] * self.size
         errors: list[BaseException | None] = [None] * self.size
@@ -152,19 +291,48 @@ class SimWorld:
                 results[rank] = fn(SimComm(self, rank))
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors[rank] = exc
+                reason = (
+                    "aborted after peer failure"
+                    if isinstance(exc, RankFailure)
+                    else f"{type(exc).__name__}: {exc}"
+                )
+                self.mark_rank_dead(rank, exc, reason=reason)
 
+        # daemon threads: a KeyboardInterrupt in the joining caller
+        # must be able to take the process down instead of hanging on
+        # rank threads blocked in a collective
         threads = [
-            threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
+            threading.Thread(
+                target=runner, args=(r,), name=f"simrank-{r}", daemon=True
+            )
             for r in range(self.size)
         ]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
+        root_cause = next(
+            (e for e in errors if e is not None and not isinstance(e, RankFailure)),
+            None,
+        )
+        if root_cause is not None:
+            raise root_cause
         for exc in errors:
             if exc is not None:
                 raise exc
         return results
+
+
+def run_simulation(*args: Any, **kwargs: Any):
+    """Fault-tolerant multi-rank simulation entry point.
+
+    Thin delegate to :func:`repro.resilience.runner.run_simulation`
+    (imported lazily to avoid a circular import); see that module for
+    the full recovery semantics.
+    """
+    from repro.resilience.runner import run_simulation as _run
+
+    return _run(*args, **kwargs)
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ every device x variant combination of the paper's study.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -135,7 +136,18 @@ class StepDiagnostics:
 
 
 class AdiabaticDriver:
-    """Runs the adiabatic mini-app and records the workload trace."""
+    """Runs the adiabatic mini-app and records the workload trace.
+
+    Resilience hooks: :attr:`kernel_hook`, when set, is called as
+    ``hook(name, step_index, outputs)`` immediately after each hot
+    kernel completes and *before* its outputs are consumed downstream.
+    ``outputs`` maps output names to the live arrays, so the hook can
+    both screen them (in-flight NaN/Inf guards) and mutate them in
+    place (deterministic fault injection).  :attr:`step_index` counts
+    completed steps and, together with :meth:`restore`, supports
+    restarting a run mid-schedule from a
+    :class:`~repro.resilience.restart.SimulationCheckpoint`.
+    """
 
     def __init__(
         self,
@@ -157,6 +169,49 @@ class AdiabaticDriver:
         )
         self.trace = WorkloadTrace()
         self.diagnostics: list[StepDiagnostics] = []
+        #: completed steps of the configured schedule
+        self.step_index = 0
+        #: the run's stochastic stream (seeded; captured by checkpoints)
+        self.rng = np.random.default_rng(self.config.seed)
+        #: resilience hook: hook(kernel_name, step_index, {name: array})
+        self.kernel_hook: Callable[[str, int, dict[str, np.ndarray]], None] | None = None
+
+    def restore(
+        self,
+        *,
+        particles: ParticleData,
+        step_index: int,
+        trace: WorkloadTrace | None = None,
+        diagnostics: list[StepDiagnostics] | None = None,
+        rng_state: dict[str, Any] | None = None,
+    ) -> None:
+        """Reset the driver to a checkpointed mid-run state."""
+        if not 0 <= step_index <= self.config.n_steps:
+            raise ValueError(
+                f"step index {step_index} outside the "
+                f"{self.config.n_steps}-step schedule"
+            )
+        self.particles = particles
+        self.step_index = int(step_index)
+        if trace is not None:
+            self.trace = trace
+        if diagnostics is not None:
+            self.diagnostics = diagnostics
+        if rng_state is not None:
+            self.rng.bit_generator.state = rng_state
+
+    def _record_kernel(
+        self,
+        name: str,
+        n_workitems: int,
+        per_item: float,
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        """Record one kernel launch and run the resilience hook on its
+        freshly produced outputs (before anything consumes them)."""
+        self.trace.record(name, n_workitems, per_item)
+        if self.kernel_hook is not None:
+            self.kernel_hook(name, self.step_index, outputs)
 
     # Velocity variable convention: the particle "velocities" are the
     # canonical momenta p = a^2 dx/dt (GADGET convention), which pairs
@@ -169,7 +224,7 @@ class AdiabaticDriver:
         acc += self.short_range.accelerations(self.particles)
         n = len(self.particles)
         pair_count = self.short_range.interaction_count(self.particles)
-        self.trace.record(GRAVITY_KERNEL, n, pair_count / max(1, n))
+        self._record_kernel(GRAVITY_KERNEL, n, pair_count / max(1, n), {"acc": acc})
         return acc
 
     def _gas_view(self):
@@ -201,21 +256,33 @@ class AdiabaticDriver:
 
         if not label_suffix:
             geo = compute_geometry(ctx, h)
+            self._record_kernel(
+                "upGeo", n_gas, per_item, {"volume": geo.volume, "h_new": geo.h_new}
+            )
             p.volume[idx] = geo.volume
             p.hsml[idx] = geo.h_new
             h = geo.h_new
-            self.trace.record("upGeo", n_gas, per_item)
 
             corr = compute_corrections(ctx, h, geo.volume)
+            self._record_kernel("upCor", n_gas, per_item, {"a": corr.a, "b": corr.b})
             self._corr = corr
-            self.trace.record("upCor", n_gas, per_item)
 
             extras = compute_extras(
                 ctx, h, geo.volume, mass, vel, p.pressure[idx], corr
             )
+            self._record_kernel(
+                "upBarEx",
+                n_gas,
+                per_item,
+                {
+                    "rho": extras.rho,
+                    "grad_rho": extras.grad_rho,
+                    "div_v": extras.div_v,
+                    "grad_p": extras.grad_p,
+                },
+            )
             p.rho[idx] = extras.rho
             eos.update_thermodynamics(p)
-            self.trace.record("upBarEx", n_gas, per_item)
         else:
             # post-drift pass reuses geometry/corrections (CRK-HACC's
             # final kick re-evaluates only the force kernels)
@@ -228,10 +295,14 @@ class AdiabaticDriver:
         accel = compute_acceleration(
             ctx, h, volume, mass, rho, pressure, cs, vel, corr
         )
-        self.trace.record("upBarAc" + label_suffix, n_gas, per_item)
+        self._record_kernel(
+            "upBarAc" + label_suffix, n_gas, per_item, {"dv_dt": accel.dv_dt}
+        )
 
         energy = compute_energy_rate(ctx, volume, mass, pressure, vel, accel)
-        self.trace.record("upBarDu" + label_suffix, n_gas, per_item)
+        self._record_kernel(
+            "upBarDu" + label_suffix, n_gas, per_item, {"du_dt": energy.du_dt}
+        )
 
         dv_full = np.zeros((len(p), 3))
         du_full = np.zeros(len(p))
@@ -268,8 +339,11 @@ class AdiabaticDriver:
         more calls to the adiabatic kernels" (Section 3.1).
         """
         if self.config.subcycling:
-            return self._step_subcycled(a0, a1)
-        return self._step_plain(a0, a1)
+            diag = self._step_subcycled(a0, a1)
+        else:
+            diag = self._step_plain(a0, a1)
+        self.step_index += 1
+        return diag
 
     def _step_plain(self, a0: float, a1: float) -> StepDiagnostics:
         p = self.particles
@@ -344,13 +418,29 @@ class AdiabaticDriver:
         self.diagnostics.append(diag)
         return diag
 
-    def run(self) -> list[StepDiagnostics]:
-        """Run the configured schedule; returns per-step diagnostics."""
-        schedule = self.cosmology.step_schedule(
+    def schedule(self) -> np.ndarray:
+        """Scale-factor edges of the configured schedule."""
+        return self.cosmology.step_schedule(
             self.config.z_initial, self.config.z_final, self.config.n_steps
         )
-        for a0, a1 in zip(schedule[:-1], schedule[1:]):
-            self.step(float(a0), float(a1))
+
+    def run(
+        self,
+        on_step: Callable[["AdiabaticDriver", StepDiagnostics], None] | None = None,
+    ) -> list[StepDiagnostics]:
+        """Run (or, after :meth:`restore`, resume) the configured
+        schedule; returns per-step diagnostics.
+
+        ``on_step(driver, diag)`` fires after each completed step —
+        the periodic-checkpoint hook point.
+        """
+        schedule = self.schedule()
+        while self.step_index < self.config.n_steps:
+            a0 = float(schedule[self.step_index])
+            a1 = float(schedule[self.step_index + 1])
+            diag = self.step(a0, a1)
+            if on_step is not None:
+                on_step(self, diag)
         return self.diagnostics
 
     # ------------------------------------------------------------------

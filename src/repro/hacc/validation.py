@@ -19,7 +19,9 @@ violated invariant:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -27,6 +29,19 @@ from repro.hacc import eos
 from repro.hacc.particles import Species
 from repro.hacc.timestep import GRAVITY_KERNEL, TIMER_NAMES, AdiabaticDriver
 from repro.hacc.units import GAMMA_ADIABATIC
+
+
+class Severity(enum.Enum):
+    """How a step-level gate treats a violated invariant.
+
+    ``RunValidator`` itself always *reports*; the severity policy is
+    applied by consumers (the resilience step gate) to decide whether
+    a violation is ignored, logged, or aborts the step.
+    """
+
+    IGNORE = "ignore"
+    WARN = "warn"
+    FATAL = "fatal"
 
 
 @dataclass(frozen=True)
@@ -75,21 +90,35 @@ class RunValidator:
     #: guards against order-of-magnitude corruption, not percent drift.
     VOLUME_BAND = (0.3, 2.0)
 
+    #: every invariant, in audit order
+    CHECK_NAMES = (
+        "momentum",
+        "mass",
+        "containment",
+        "thermodynamics",
+        "volumes",
+        "timer_pattern",
+    )
+
     def __init__(self, driver: AdiabaticDriver):
         self.driver = driver
 
     # ------------------------------------------------------------------
-    def validate(self) -> ValidationReport:
+    def validate(self, checks: Iterable[str] | None = None) -> ValidationReport:
+        """Audit the driver.  ``checks`` restricts the audit to a
+        subset of :attr:`CHECK_NAMES` — the step-level gate uses this
+        to run the cheap state invariants every step and leave the
+        whole-trace audit for run end."""
+        if checks is None:
+            selected = self.CHECK_NAMES
+        else:
+            selected = tuple(checks)
+            unknown = set(selected) - set(self.CHECK_NAMES)
+            if unknown:
+                raise ValueError(f"unknown validation checks: {sorted(unknown)}")
         report = ValidationReport()
-        for check in (
-            self._check_momentum,
-            self._check_mass,
-            self._check_containment,
-            self._check_thermodynamics,
-            self._check_volumes,
-            self._check_timer_pattern,
-        ):
-            name = check.__name__.removeprefix("_check_")
+        for name in selected:
+            check = getattr(self, f"_check_{name}")
             report.checks_run.append(name)
             for violation in check():
                 report.violations.append(Violation(check=name, message=violation))

@@ -1,0 +1,71 @@
+"""Resilience: fault injection, checkpoint/restart, and recovery.
+
+Production CRK-HACC campaigns on Aurora and Frontier survive node
+failures through checkpoint/restart discipline, and the paper's own
+workflow (Section 7.2) replays kernel state from checkpoint files.
+This package gives the reproduction the same property:
+
+- :mod:`repro.resilience.faults` — a seeded, deterministic fault
+  injector (rank kills, kernel-output corruption, collective stalls,
+  checkpoint-write failures) so every failure scenario is a
+  reproducible test case;
+- :mod:`repro.resilience.restart` — full-run
+  :class:`~repro.resilience.restart.SimulationCheckpoint` files with
+  versioned atomic writes and checksums, plus the periodic
+  :class:`~repro.resilience.restart.CheckpointManager`;
+- :mod:`repro.resilience.guards` — in-flight NaN/Inf screens over the
+  hot kernels' outputs and a step-level validation gate with
+  configurable severity;
+- :mod:`repro.resilience.runner` — the fault-tolerant multi-rank
+  entry point :func:`~repro.resilience.runner.run_simulation`, which
+  retries from the last checkpoint with bounded backoff.
+"""
+
+from repro.hacc.checkpoint import CheckpointError
+from repro.resilience.faults import (
+    CheckpointWriteFault,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RankKilled,
+)
+from repro.resilience.guards import (
+    GuardError,
+    GuardPolicy,
+    GuardViolation,
+    KernelGuard,
+    RetryPolicy,
+    StepGate,
+    StepValidationError,
+)
+from repro.resilience.restart import CheckpointManager, SimulationCheckpoint
+from repro.resilience.runner import (
+    AttemptRecord,
+    SimulationAborted,
+    SimulationResult,
+    run_simulation,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointWriteFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "GuardError",
+    "GuardPolicy",
+    "GuardViolation",
+    "InjectedFault",
+    "KernelGuard",
+    "RankKilled",
+    "RetryPolicy",
+    "SimulationAborted",
+    "SimulationCheckpoint",
+    "SimulationResult",
+    "StepGate",
+    "StepValidationError",
+    "run_simulation",
+]

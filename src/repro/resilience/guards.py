@@ -1,0 +1,158 @@
+"""In-flight guards: catch corruption the step it happens.
+
+Before this module, a NaN emitted by a hot kernel propagated silently
+through kicks and drifts until the post-hoc
+:class:`~repro.hacc.validation.RunValidator` noticed a sick final
+state.  The guards promote validation to a *step-level gate*:
+
+- :class:`KernelGuard` installs itself as the driver's
+  :attr:`~repro.hacc.timestep.AdiabaticDriver.kernel_hook` and screens
+  every hot kernel's freshly produced outputs for NaN/Inf *before*
+  anything consumes them, raising :class:`GuardViolation` in the same
+  step the corruption appears;
+- :class:`StepGate` runs the :class:`RunValidator` invariants after
+  every completed step, with a configurable per-check
+  :class:`~repro.hacc.validation.Severity` (ignore / warn / fatal);
+- :class:`RetryPolicy` bounds the recovery loop: how many times the
+  runner may retry from the last checkpoint, tightening the
+  checkpoint cadence on each recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hacc.timestep import AdiabaticDriver
+from repro.hacc.validation import RunValidator, Severity, Violation
+
+
+class GuardError(RuntimeError):
+    """Base class for step-level guard failures."""
+
+
+class GuardViolation(GuardError):
+    """A kernel emitted non-finite output."""
+
+    def __init__(self, kernel: str, step: int, output: str, n_bad: int):
+        super().__init__(
+            f"kernel {kernel} produced {n_bad} non-finite value(s) "
+            f"in output {output!r} at step {step}"
+        )
+        self.kernel = kernel
+        self.step = step
+        self.output = output
+        self.n_bad = n_bad
+
+
+class StepValidationError(GuardError):
+    """The step-level validation gate found a fatal violation."""
+
+    def __init__(self, step: int, violations: list[Violation]):
+        details = "; ".join(str(v) for v in violations)
+        super().__init__(f"step {step} failed validation: {details}")
+        self.step = step
+        self.violations = tuple(violations)
+
+
+@dataclass
+class RetryPolicy:
+    """Bounds for the retry-from-last-checkpoint loop."""
+
+    #: restarts allowed before the run is declared lost
+    max_retries: int = 3
+    #: halve the checkpoint cadence after each recovery (backoff: a
+    #: repeatedly faulting run loses less work per fault)
+    tighten_cadence: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+def _default_severity() -> dict[str, Severity]:
+    return dict.fromkeys(RunValidator.CHECK_NAMES, Severity.FATAL)
+
+
+@dataclass
+class GuardPolicy:
+    """What the in-flight guards enforce, and how hard."""
+
+    #: screen hot-kernel outputs for NaN/Inf as they are produced
+    screen_kernels: bool = True
+    #: invariants audited after every step (subset of
+    #: :attr:`RunValidator.CHECK_NAMES`); all of them by default
+    step_checks: tuple[str, ...] = RunValidator.CHECK_NAMES
+    #: per-check severity; anything missing defaults to FATAL
+    severity: dict[str, Severity] = field(default_factory=_default_severity)
+
+    def severity_of(self, check: str) -> Severity:
+        return self.severity.get(check, Severity.FATAL)
+
+
+class KernelGuard:
+    """NaN/Inf screen over the hot kernels' outputs.
+
+    :meth:`install` chains the guard (and, optionally, a fault
+    injector's corruption hook — injection first, screening second, so
+    an injected NaN is caught by the same screen a real one would be)
+    onto a driver's ``kernel_hook``.
+    """
+
+    def __init__(self, policy: GuardPolicy | None = None):
+        self.policy = policy or GuardPolicy()
+        self.screened_kernels = 0
+
+    def screen(self, name: str, step: int, outputs: dict[str, np.ndarray]) -> None:
+        if not self.policy.screen_kernels:
+            return
+        self.screened_kernels += 1
+        for out_name, arr in outputs.items():
+            finite = np.isfinite(arr)
+            if not finite.all():
+                raise GuardViolation(
+                    name, step, out_name, int(arr.size - finite.sum())
+                )
+
+    def install(
+        self, driver: AdiabaticDriver, *, injector=None, rank: int = 0
+    ) -> None:
+        def hook(name: str, step: int, outputs: dict[str, np.ndarray]) -> None:
+            if injector is not None:
+                injector.corrupt_kernel(name, step, rank, outputs)
+            self.screen(name, step, outputs)
+
+        driver.kernel_hook = hook
+
+
+class StepGate:
+    """Step-level validation gate with a severity policy.
+
+    Call :meth:`check` after each completed step; fatal violations
+    raise :class:`StepValidationError`, warnings accumulate in
+    :attr:`warnings`, ignored checks are skipped entirely.
+    """
+
+    def __init__(self, driver: AdiabaticDriver, policy: GuardPolicy | None = None):
+        self.policy = policy or GuardPolicy()
+        self.validator = RunValidator(driver)
+        self.warnings: list[Violation] = []
+
+    def check(self, step_index: int) -> None:
+        active = tuple(
+            c
+            for c in self.policy.step_checks
+            if self.policy.severity_of(c) is not Severity.IGNORE
+        )
+        if not active:
+            return
+        report = self.validator.validate(checks=active)
+        fatal: list[Violation] = []
+        for violation in report.violations:
+            if self.policy.severity_of(violation.check) is Severity.FATAL:
+                fatal.append(violation)
+            else:
+                self.warnings.append(violation)
+        if fatal:
+            raise StepValidationError(step_index, fatal)

@@ -1,0 +1,334 @@
+"""Full-run checkpoint/restart for the adiabatic simulation.
+
+:class:`KernelCheckpoint` (Section 7.2) captures one kernel's gas
+inputs; a *restartable run* needs more: both species' complete
+particle state, the step position in the schedule, the cosmology scale
+factor, the RNG stream, and the recorded trace/diagnostics (so a
+resumed run still satisfies the validator's timer-pattern audit).
+:class:`SimulationCheckpoint` captures exactly that.
+
+Write protocol (what production checkpointing discipline demands):
+
+- **atomic** — the payload is written to a temp file in the target
+  directory and ``os.replace``-d over the final name, so a crash (or
+  an injected :class:`~repro.resilience.faults.CheckpointWriteFault`)
+  mid-write can never leave a half-written file under the checkpoint
+  name;
+- **versioned** — every file carries a format version; unknown
+  versions are rejected with :class:`CheckpointError`;
+- **checksummed** — a SHA-256 digest over every payload array is
+  stored and verified on load, so silent corruption (torn writes that
+  slipped past the filesystem, bitflips at rest) is detected instead
+  of propagated into physics.
+
+:class:`CheckpointManager` adds the periodic-write policy on top:
+checkpoint every *k* steps, keep a bounded history, find the newest
+*valid* checkpoint on restart (skipping any corrupt file).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.hacc.checkpoint import CheckpointError, payload_digest
+from repro.hacc.cosmology import Cosmology
+from repro.hacc.particles import ParticleData
+from repro.hacc.timestep import (
+    AdiabaticDriver,
+    KernelInvocation,
+    SimulationConfig,
+    StepDiagnostics,
+    WorkloadTrace,
+)
+
+#: simulation-checkpoint format version (independent of the
+#: kernel-checkpoint format in :mod:`repro.hacc.checkpoint`)
+SIM_FORMAT_VERSION = 1
+_KIND = "crk-hacc-simulation"
+
+
+@dataclass(frozen=True)
+class SimulationCheckpoint:
+    """A restartable snapshot of an in-flight simulation."""
+
+    step_index: int
+    a: float
+    config: SimulationConfig
+    box: float
+    particle_arrays: dict[str, np.ndarray]
+    rng_state: dict[str, Any]
+    trace: tuple[KernelInvocation, ...]
+    diagnostics: tuple[StepDiagnostics, ...]
+
+    # -- capture -------------------------------------------------------
+    @classmethod
+    def capture(cls, driver: AdiabaticDriver) -> "SimulationCheckpoint":
+        """Snapshot a driver between steps."""
+        schedule = driver.schedule()
+        return cls(
+            step_index=driver.step_index,
+            a=float(schedule[driver.step_index]),
+            config=driver.config,
+            box=driver.particles.box,
+            particle_arrays={
+                name: arr.copy() for name, arr in driver.particles.arrays.items()
+            },
+            rng_state=driver.rng.bit_generator.state,
+            trace=tuple(driver.trace.invocations),
+            diagnostics=tuple(driver.diagnostics),
+        )
+
+    # -- restore -------------------------------------------------------
+    def particles(self) -> ParticleData:
+        """A fresh (independently mutable) particle container."""
+        return ParticleData(
+            box=self.box,
+            arrays={name: arr.copy() for name, arr in self.particle_arrays.items()},
+        )
+
+    def restore_driver(self, cosmology: Cosmology | None = None) -> AdiabaticDriver:
+        """Build a driver resuming at :attr:`step_index`.
+
+        Each call returns an independent driver (own particle arrays,
+        trace, and RNG), so every rank of a simulated world can restore
+        from one shared checkpoint object without aliasing state.
+        """
+        driver = AdiabaticDriver(
+            config=self.config,
+            cosmology=cosmology,
+            particles=self.particles(),
+        )
+        driver.restore(
+            particles=driver.particles,
+            step_index=self.step_index,
+            trace=WorkloadTrace(invocations=list(self.trace)),
+            diagnostics=[dataclasses.replace(d) for d in self.diagnostics],
+            rng_state=json.loads(json.dumps(self.rng_state)),
+        )
+        return driver
+
+    # -- serialization -------------------------------------------------
+    def _payload(self) -> dict[str, np.ndarray]:
+        payload: dict[str, np.ndarray] = {
+            "step_index": np.int64(self.step_index),
+            "a": np.float64(self.a),
+            "box": np.float64(self.box),
+            "config_json": np.frombuffer(
+                json.dumps(dataclasses.asdict(self.config)).encode(), dtype=np.uint8
+            ),
+            "rng_json": np.frombuffer(
+                json.dumps(self.rng_state).encode(), dtype=np.uint8
+            ),
+            "trace_names": np.array([i.name for i in self.trace], dtype=np.str_),
+            "trace_workitems": np.array(
+                [i.n_workitems for i in self.trace], dtype=np.int64
+            ),
+            "trace_interactions": np.array(
+                [i.interactions_per_item for i in self.trace], dtype=np.float64
+            ),
+            "diag_a": np.array([d.a for d in self.diagnostics], dtype=np.float64),
+            "diag_ke": np.array(
+                [d.kinetic_energy for d in self.diagnostics], dtype=np.float64
+            ),
+            "diag_te": np.array(
+                [d.thermal_energy for d in self.diagnostics], dtype=np.float64
+            ),
+            "diag_momentum": np.array(
+                [d.total_momentum for d in self.diagnostics], dtype=np.float64
+            ).reshape(len(self.diagnostics), 3),
+            "diag_contrast": np.array(
+                [d.max_density_contrast for d in self.diagnostics], dtype=np.float64
+            ),
+        }
+        for name, arr in self.particle_arrays.items():
+            payload[f"part_{name}"] = arr
+        return payload
+
+    def save(self, path: str | Path, *, injector=None) -> Path:
+        """Atomic checksummed write; returns the final path.
+
+        ``injector`` is the optional fault injector whose
+        ``fail_checkpoint_write`` hook models a crash mid-write (the
+        temp file is torn, the final name is never touched).
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        payload = self._payload()
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            if injector is not None:
+                injector.fail_checkpoint_write(self.step_index, tmp)
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    kind=_KIND,
+                    version=SIM_FORMAT_VERSION,
+                    checksum=payload_digest(payload),
+                    **payload,
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SimulationCheckpoint":
+        """Load and verify; raises :class:`CheckpointError` on any
+        unreadable, truncated, corrupt, or wrong-version file."""
+        path = Path(path)
+        try:
+            with np.load(path) as data:
+                if "kind" not in data or str(data["kind"]) != _KIND:
+                    raise CheckpointError(
+                        f"{path}: not a simulation checkpoint"
+                    )
+                version = int(data["version"])
+                if version != SIM_FORMAT_VERSION:
+                    raise CheckpointError(
+                        f"{path}: simulation checkpoint format {version} "
+                        f"not supported (expected {SIM_FORMAT_VERSION})"
+                    )
+                payload = {
+                    name: data[name]
+                    for name in data.files
+                    if name not in ("kind", "version", "checksum")
+                }
+                stored = str(data["checksum"])
+                actual = payload_digest(payload)
+                if stored != actual:
+                    raise CheckpointError(
+                        f"{path}: checksum mismatch "
+                        f"(stored {stored[:12]}..., data {actual[:12]}...)"
+                    )
+                return cls._from_payload(payload)
+        except CheckpointError:
+            raise
+        except Exception as exc:  # zipfile/OS/key errors -> one clear type
+            raise CheckpointError(f"{path}: unreadable checkpoint ({exc})") from exc
+
+    @classmethod
+    def _from_payload(cls, payload: dict[str, np.ndarray]) -> "SimulationCheckpoint":
+        config = SimulationConfig(
+            **json.loads(bytes(payload["config_json"]).decode())
+        )
+        rng_state = json.loads(bytes(payload["rng_json"]).decode())
+        trace = tuple(
+            KernelInvocation(str(name), int(n), float(per))
+            for name, n, per in zip(
+                payload["trace_names"],
+                payload["trace_workitems"],
+                payload["trace_interactions"],
+            )
+        )
+        diagnostics = tuple(
+            StepDiagnostics(
+                a=float(payload["diag_a"][i]),
+                kinetic_energy=float(payload["diag_ke"][i]),
+                thermal_energy=float(payload["diag_te"][i]),
+                total_momentum=payload["diag_momentum"][i].copy(),
+                max_density_contrast=float(payload["diag_contrast"][i]),
+            )
+            for i in range(len(payload["diag_a"]))
+        )
+        particle_arrays = {
+            name.removeprefix("part_"): payload[name]
+            for name in payload
+            if name.startswith("part_")
+        }
+        return cls(
+            step_index=int(payload["step_index"]),
+            a=float(payload["a"]),
+            config=config,
+            box=float(payload["box"]),
+            particle_arrays=particle_arrays,
+            rng_state=rng_state,
+            trace=trace,
+            diagnostics=diagnostics,
+        )
+
+
+class CheckpointManager:
+    """Periodic checkpoint policy over a directory.
+
+    Writes ``sim-step****.npz`` every ``every`` steps, keeps the
+    newest ``keep`` files, and on restart returns the newest file that
+    *loads and verifies* (a torn or corrupt file is skipped, never
+    trusted).  ``tighten()`` implements the retry backoff: after a
+    recovery, checkpoint twice as often so repeated faults lose less
+    work each round.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        every: int = 1,
+        keep: int = 4,
+        injector=None,
+    ):
+        if every < 1:
+            raise ValueError("checkpoint cadence must be >= 1 step")
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every = int(every)
+        self.keep = int(keep)
+        self.injector = injector
+        self.written: list[Path] = []
+
+    def path_for(self, step_index: int) -> Path:
+        return self.directory / f"sim-step{step_index:04d}.npz"
+
+    def maybe_save(self, driver: AdiabaticDriver) -> Path | None:
+        """Checkpoint if the cadence says so (call after each step)."""
+        if driver.step_index % self.every != 0 and (
+            driver.step_index != driver.config.n_steps
+        ):
+            return None
+        return self.save_now(driver)
+
+    def save_now(self, driver: AdiabaticDriver) -> Path:
+        path = SimulationCheckpoint.capture(driver).save(
+            self.path_for(driver.step_index), injector=self.injector
+        )
+        if path not in self.written:
+            self.written.append(path)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        files = sorted(self.directory.glob("sim-step*.npz"))
+        for stale in files[: -self.keep]:
+            stale.unlink(missing_ok=True)
+
+    def latest(self, config: Any | None = None) -> SimulationCheckpoint | None:
+        """The newest checkpoint that passes verification, if any.
+
+        When ``config`` is given, checkpoints written under a
+        different configuration are skipped: a reused directory may
+        hold stale checkpoints from an earlier run whose schedule is
+        incompatible with the one being recovered.
+        """
+        for path in sorted(self.directory.glob("sim-step*.npz"), reverse=True):
+            try:
+                found = SimulationCheckpoint.load(path)
+            except CheckpointError:
+                continue
+            if config is not None and found.config != config:
+                continue
+            return found
+        return None
+
+    def tighten(self) -> None:
+        """Retry backoff: halve the cadence (checkpoint more often)."""
+        self.every = max(1, self.every // 2)

@@ -1,0 +1,286 @@
+"""The fault-tolerant multi-rank simulation runner.
+
+:func:`run_simulation` executes the adiabatic mini-app on a simulated
+MPI world with the full resilience stack threaded through it:
+
+- every rank advances a *replicated* deterministic driver in lockstep
+  (the physics in this reproduction is global — see
+  ``examples/multirank_simulation.py`` — so replication plus a
+  per-step cross-rank agreement check stands in for a domain-split
+  integrator, exactly as strong as the collectives that coordinate
+  it);
+- each step ends in an ``allgather`` of the step diagnostics: that
+  rendezvous is both the health heartbeat (a dead rank turns it into
+  :class:`~repro.hacc.mpi_sim.RankFailure` on every survivor within
+  the timeout) and a divergence detector (replicas must agree
+  bit-for-bit; silent corruption on one rank trips
+  :class:`DivergenceError`);
+- rank 0 writes periodic :class:`SimulationCheckpoint` files through
+  the :class:`CheckpointManager`; an injected checkpoint-write fault
+  is absorbed (the run continues on the older restart point — losing
+  a checkpoint must not lose the run);
+- when an attempt dies — injected rank kill, guard violation, stalled
+  collective, real bug — the runner restarts every rank from the
+  newest *valid* checkpoint, tightening the checkpoint cadence
+  (bounded retries with backoff), until the run completes or the
+  :class:`~repro.resilience.guards.RetryPolicy` budget is exhausted,
+  at which point :class:`SimulationAborted` carries the full attempt
+  history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.hacc.cosmology import Cosmology
+from repro.hacc.mpi_sim import RankFailure, SimComm, SimWorld
+from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+from repro.hacc.validation import RunValidator, ValidationReport, Violation
+from repro.resilience.faults import (
+    CheckpointWriteFault,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+)
+from repro.resilience.guards import (
+    GuardError,
+    GuardPolicy,
+    KernelGuard,
+    RetryPolicy,
+    StepGate,
+)
+from repro.resilience.restart import CheckpointManager, SimulationCheckpoint
+
+
+class DivergenceError(GuardError):
+    """Replicated ranks disagreed on the step diagnostics."""
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of the recovery loop."""
+
+    attempt: int
+    outcome: str  # "completed" | "failed"
+    failure: str | None = None
+    dead_ranks: tuple[int, ...] = ()
+    obituaries: tuple[str, ...] = ()
+    restarted_from_step: int | None = None
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a (possibly recovered) fault-tolerant run."""
+
+    driver: AdiabaticDriver
+    report: ValidationReport
+    world_size: int
+    attempts: list[AttemptRecord]
+    checkpoints: list[Path] = field(default_factory=list)
+    guard_warnings: list[Violation] = field(default_factory=list)
+    checkpoint_write_failures: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def recovered(self) -> bool:
+        """Did the run survive at least one failed attempt?"""
+        return len(self.attempts) > 1
+
+    def summary(self) -> str:
+        lines = [
+            f"run: {len(self.attempts)} attempt(s) on {self.world_size} rank(s), "
+            f"{self.driver.step_index} step(s) completed"
+        ]
+        for rec in self.attempts:
+            line = f"  attempt {rec.attempt}: {rec.outcome}"
+            if rec.failure:
+                line += f" ({rec.failure})"
+            if rec.restarted_from_step is not None:
+                line += f"; restarted from step {rec.restarted_from_step}"
+            lines.append(line)
+        if self.checkpoint_write_failures:
+            lines.append(
+                f"  checkpoint writes absorbed: {self.checkpoint_write_failures} failure(s)"
+            )
+        lines.append("  " + self.report.summary().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+class SimulationAborted(RuntimeError):
+    """The retry budget ran out before the run completed."""
+
+    def __init__(self, message: str, attempts: list[AttemptRecord]):
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
+def _build_driver(
+    config: SimulationConfig,
+    cosmology: Cosmology | None,
+    checkpoint: SimulationCheckpoint | None,
+) -> AdiabaticDriver:
+    if checkpoint is not None:
+        return checkpoint.restore_driver(cosmology)
+    return AdiabaticDriver(config=config, cosmology=cosmology)
+
+
+def run_simulation(
+    config: SimulationConfig | None = None,
+    *,
+    world_size: int = 8,
+    timeout: float | None = 30.0,
+    cosmology: Cosmology | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    restart_from: str | Path | None = None,
+    fault_plan: FaultPlan | None = None,
+    injector: FaultInjector | None = None,
+    guard_policy: GuardPolicy | None = None,
+    retry_policy: RetryPolicy | None = None,
+    echo: Callable[[str], None] | None = None,
+) -> SimulationResult:
+    """Run the mini-app fault-tolerantly on ``world_size`` ranks.
+
+    Returns a :class:`SimulationResult` whose validation report is the
+    final gate; raises :class:`SimulationAborted` when the
+    :class:`RetryPolicy` budget is exhausted.  ``fault_plan`` (or a
+    pre-armed ``injector``, which wins if both are given) makes the
+    failures; ``checkpoint_dir`` + ``checkpoint_every`` make the
+    recovery; ``restart_from`` resumes an earlier run's checkpoint
+    file.
+    """
+    config = config or SimulationConfig()
+    retry_policy = retry_policy or RetryPolicy()
+    guard_policy = guard_policy or GuardPolicy()
+    if injector is None and fault_plan is not None:
+        injector = FaultInjector(fault_plan)
+    say = echo or (lambda _msg: None)
+
+    manager: CheckpointManager | None = None
+    if checkpoint_dir is not None:
+        manager = CheckpointManager(
+            checkpoint_dir, every=checkpoint_every, injector=injector
+        )
+
+    start: SimulationCheckpoint | None = None
+    if restart_from is not None:
+        start = SimulationCheckpoint.load(restart_from)
+        say(f"restarting from checkpoint at step {start.step_index}")
+        if start.config != config:
+            # the checkpoint's embedded config is authoritative: the
+            # schedule must match the state being resumed
+            config = start.config
+
+    attempts: list[AttemptRecord] = []
+    write_failures = 0
+    guard_warnings: list[Violation] = []
+
+    for attempt in range(retry_policy.max_retries + 1):
+        world = SimWorld(world_size, timeout=timeout)
+        if injector is not None:
+            world.pre_collective_hook = injector.collective_hook()
+        rank0_driver: dict[int, AdiabaticDriver] = {}
+        restarted_from = start.step_index if start is not None else None
+
+        def rank_fn(comm: SimComm) -> int:
+            rank = comm.Get_rank()
+            driver = _build_driver(config, cosmology, start)
+            if rank == 0:
+                rank0_driver[0] = driver
+            guard = KernelGuard(guard_policy)
+            guard.install(driver, injector=injector, rank=rank)
+            gate = StepGate(driver, guard_policy)
+            schedule = driver.schedule()
+            while driver.step_index < config.n_steps:
+                step = driver.step_index
+                if injector is not None:
+                    injector.on_step_start(rank, step)  # may raise RankKilled
+                a0 = float(schedule[step])
+                a1 = float(schedule[step + 1])
+                diag = driver.step(a0, a1)
+                gate.check(step)
+                # heartbeat + replica agreement: every rank must both
+                # arrive (else RankFailure) and agree bit-for-bit
+                digests = comm.allgather(
+                    (diag.kinetic_energy, diag.thermal_energy)
+                )
+                if any(d != digests[0] for d in digests[1:]):
+                    raise DivergenceError(
+                        f"replicated ranks diverged at step {step}: {digests}"
+                    )
+                if rank == 0 and manager is not None:
+                    nonlocal write_failures
+                    try:
+                        manager.maybe_save(driver)
+                    except CheckpointWriteFault as exc:
+                        # losing a checkpoint must not lose the run
+                        write_failures += 1
+                        say(
+                            "checkpoint write failed at step "
+                            f"{driver.step_index}: {exc}"
+                        )
+                comm.barrier()
+            if rank == 0:
+                guard_warnings.extend(gate.warnings)
+            return driver.step_index
+
+        try:
+            world.run(rank_fn)
+        except (InjectedFault, RankFailure, GuardError) as exc:
+            obits = world.obituaries
+            record = AttemptRecord(
+                attempt=attempt,
+                outcome="failed",
+                failure=f"{type(exc).__name__}: {exc}",
+                dead_ranks=tuple(sorted(obits)),
+                obituaries=tuple(
+                    f"rank {r}: {o.reason}" for r, o in sorted(obits.items())
+                ),
+                restarted_from_step=restarted_from,
+            )
+            attempts.append(record)
+            say(
+                f"attempt {attempt} failed ({type(exc).__name__}); "
+                f"dead ranks: {sorted(obits)}"
+            )
+            if attempt == retry_policy.max_retries:
+                raise SimulationAborted(
+                    f"run lost after {len(attempts)} attempt(s): {exc}", attempts
+                ) from exc
+            # recover: newest valid checkpoint wins; otherwise restart
+            # from the original starting point
+            recovered = (
+                manager.latest(config=config) if manager is not None else None
+            )
+            if recovered is not None:
+                start = recovered
+                say(f"recovering from checkpoint at step {recovered.step_index}")
+            if manager is not None and retry_policy.tighten_cadence:
+                manager.tighten()
+            continue
+
+        driver = rank0_driver[0]
+        attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                outcome="completed",
+                restarted_from_step=restarted_from,
+            )
+        )
+        report = RunValidator(driver).validate()
+        return SimulationResult(
+            driver=driver,
+            report=report,
+            world_size=world_size,
+            attempts=attempts,
+            checkpoints=list(manager.written) if manager is not None else [],
+            guard_warnings=guard_warnings,
+            checkpoint_write_failures=write_failures,
+        )
+
+    raise AssertionError("unreachable: retry loop must return or raise")

@@ -7,11 +7,65 @@ pricing/metric test reuses its workload trace.
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.hacc.ic import ICConfig, zeldovich_ics
 from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+
+#: per-test watchdog budget (seconds); override per test with
+#: ``@pytest.mark.timeout(seconds)``.  Generous enough for the
+#: session-scoped physics fixtures, tight enough that a regressed
+#: collective deadlock fails the suite instead of hanging it.
+DEFAULT_TEST_TIMEOUT = 300.0
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "faults: fault-injection / resilience scenario tests"
+    )
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test watchdog budget (stdlib SIGALRM based; "
+        f"default {DEFAULT_TEST_TIMEOUT:.0f}s)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _test_watchdog(request):
+    """Stdlib deadlock watchdog: any test (e.g. one that regresses a
+    collective into a deadlock) is killed by SIGALRM after its budget
+    instead of hanging the whole suite.
+
+    CPython delivers signals on the main thread and its lock/join
+    waits are signal-interruptible, so this fires even while the test
+    is blocked joining deadlocked rank threads.  No-op on platforms
+    without ``SIGALRM`` or when pytest runs off the main thread.
+    """
+    if not hasattr(signal, "SIGALRM") or (
+        threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    marker = request.node.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:.0f}s watchdog budget "
+            "(deadlocked collective?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 
 from repro.hacc.checkpoint import (
+    FORMAT_VERSION,
     STANDALONE_KERNELS,
+    CheckpointError,
     KernelCheckpoint,
     checkpoint_metadata,
     run_standalone,
@@ -48,6 +50,71 @@ class TestRoundTrip:
             KernelCheckpoint.load(path)
 
 
+class TestCorruptFiles:
+    """load() converts every failure mode to CheckpointError."""
+
+    @pytest.fixture
+    def saved(self, checkpoint, tmp_path):
+        path = tmp_path / "state.npz"
+        checkpoint.save(path)
+        return path
+
+    def test_truncated_file(self, saved):
+        saved.write_bytes(saved.read_bytes()[:80])
+        with pytest.raises(CheckpointError, match="unreadable"):
+            KernelCheckpoint.load(saved)
+
+    def test_not_an_npz(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            KernelCheckpoint.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            KernelCheckpoint.load(tmp_path / "nope.npz")
+
+    def test_missing_payload_field(self, saved):
+        data = dict(np.load(saved))
+        del data["pressure"]
+        np.savez(saved, **data)
+        with pytest.raises(CheckpointError, match="missing field.*pressure"):
+            KernelCheckpoint.load(saved)
+
+    def test_no_version_field(self, saved):
+        data = dict(np.load(saved))
+        del data["version"]
+        np.savez(saved, **data)
+        with pytest.raises(CheckpointError, match="no version field"):
+            KernelCheckpoint.load(saved)
+
+    def test_bitflip_detected_by_checksum(self, saved):
+        data = dict(np.load(saved))
+        data["u"] = data["u"].copy()
+        data["u"][0] += 1e-12  # stale checksum now mismatches
+        np.savez(saved, **data)
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            KernelCheckpoint.load(saved)
+
+    def test_checkpoint_error_is_a_value_error(self):
+        # callers that predate the dedicated type keep working
+        assert issubclass(CheckpointError, ValueError)
+
+
+class TestVersion1Compat:
+    def test_version1_file_without_checksum_loads(self, checkpoint, tmp_path):
+        """Files written before the checksum existed stay loadable."""
+        path = tmp_path / "v1.npz"
+        checkpoint.save(path)
+        data = dict(np.load(path))
+        del data["checksum"]
+        data["version"] = np.array(1)
+        np.savez(path, **data)
+        loaded = KernelCheckpoint.load(path)
+        assert loaded.n_particles == checkpoint.n_particles
+        np.testing.assert_array_equal(loaded.u, checkpoint.u)
+
+
 class TestStandaloneRuns:
     @pytest.mark.parametrize("kernel", STANDALONE_KERNELS)
     def test_every_hot_kernel_runs_standalone(self, checkpoint, kernel):
@@ -77,4 +144,4 @@ class TestMetadata:
     def test_json_summary(self, checkpoint):
         meta = json.loads(checkpoint_metadata(checkpoint))
         assert meta["n_particles"] == checkpoint.n_particles
-        assert meta["format_version"] == 1
+        assert meta["format_version"] == FORMAT_VERSION

@@ -1,9 +1,16 @@
 """Tests for the simulated MPI world and domain decomposition."""
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.hacc.mpi_sim import DomainDecomposition, SimWorld
+from repro.hacc.mpi_sim import (
+    DomainDecomposition,
+    RankFailure,
+    SimWorld,
+    _Rendezvous,
+)
 
 
 class TestCollectives:
@@ -78,6 +85,141 @@ class TestCollectives:
     def test_size_validation(self):
         with pytest.raises(ValueError):
             SimWorld(0)
+
+
+@pytest.mark.timeout(60)
+class TestSelfHealingCollectives:
+    def test_rendezvous_result_initialised(self):
+        # regression: a wakeup before the first completed generation
+        # used to read an undefined _result attribute
+        assert _Rendezvous(2)._result is None
+
+    def test_per_call_timeout_raises_rankfailure(self):
+        world = SimWorld(2)
+
+        def fn(c):
+            if c.Get_rank() == 0:
+                time.sleep(1.0)  # never joins the barrier
+                return "late"
+            with pytest.raises(RankFailure, match="timed out"):
+                c.barrier(timeout=0.1)
+            return "timed-out"
+
+        assert world.run(fn) == ["late", "timed-out"]
+
+    def test_world_level_timeout_is_the_default(self):
+        world = SimWorld(2, timeout=0.1)
+
+        def fn(c):
+            if c.Get_rank() == 0:
+                time.sleep(1.0)
+                return "late"
+            with pytest.raises(RankFailure, match="timed out"):
+                c.allreduce(1)  # no per-call timeout: world's applies
+            return "timed-out"
+
+        assert world.run(fn) == ["late", "timed-out"]
+
+    def test_per_call_timeout_overrides_world_default(self):
+        world = SimWorld(2, timeout=0.05)
+        # a generous per-call timeout lets a slow rank make it
+        def fn(c):
+            if c.Get_rank() == 0:
+                time.sleep(0.3)
+            return c.allreduce(1, timeout=10.0)
+
+        assert world.run(fn) == [2, 2]
+
+    def test_dead_rank_wakes_blocked_survivors(self):
+        """Survivors blocked in an untimed collective are woken by the
+        supervisor when a peer dies — no timeout needed."""
+        world = SimWorld(4)
+        woken = []
+
+        def fn(c):
+            if c.Get_rank() == 3:
+                raise RuntimeError("boom")
+            try:
+                c.allreduce(1)  # would block forever without healing
+            except RankFailure as exc:
+                # peers that aborted after rank 3's death may also be
+                # listed by the time later survivors wake up
+                assert 3 in exc.failed_ranks
+                woken.append(c.Get_rank())
+                raise
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="boom"):
+            world.run(fn)
+        assert time.monotonic() - start < 10.0
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_supervisor_records_obituaries(self):
+        world = SimWorld(3)
+
+        def fn(c):
+            if c.Get_rank() == 1:
+                raise ValueError("cosmic ray")
+            try:
+                c.barrier()
+            except RankFailure:
+                raise
+
+        with pytest.raises(ValueError, match="cosmic ray"):
+            world.run(fn)
+        assert set(world.obituaries) == {0, 1, 2}
+        assert world.obituaries[1].reason == "ValueError: cosmic ray"
+        assert world.obituaries[0].reason == "aborted after peer failure"
+        assert world.dead_ranks == {0, 1, 2}
+
+    def test_collectives_after_death_fail_fast(self):
+        """Once a rank is dead, later collectives on survivors fail
+        immediately instead of waiting out the timeout."""
+        world = SimWorld(2, timeout=30.0)
+        world.mark_rank_dead(1, RuntimeError("gone"), reason="gone")
+
+        def fn(c):
+            if c.Get_rank() == 1:
+                return None  # plays dead
+            start = time.monotonic()
+            with pytest.raises(RankFailure, match=r"rank\(s\) \[1\] died"):
+                c.allgather(1)
+            return time.monotonic() - start
+
+        elapsed = world.run(fn)[0]
+        assert elapsed < 5.0  # did not consume the 30s timeout
+
+    def test_root_cause_error_preferred_over_rankfailure(self):
+        world = SimWorld(4)
+
+        def fn(c):
+            if c.Get_rank() == 0:
+                raise ZeroDivisionError("the real bug")
+            c.barrier()
+
+        # survivors all raise RankFailure, but the propagated error is
+        # the root cause
+        with pytest.raises(ZeroDivisionError, match="the real bug"):
+            world.run(fn)
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError, match="timeout"):
+            SimWorld(2, timeout=0.0)
+        with pytest.raises(ValueError, match="timeout"):
+            SimWorld(2, timeout=-1.0)
+
+    def test_pre_collective_hook_observes_every_call(self):
+        world = SimWorld(2)
+        seen = []
+        world.pre_collective_hook = lambda kind, rank: seen.append((kind, rank))
+
+        world.run(lambda c: (c.barrier(), c.allreduce(1)))
+        assert sorted(seen) == [
+            ("allreduce", 0),
+            ("allreduce", 1),
+            ("barrier", 0),
+            ("barrier", 1),
+        ]
 
 
 class TestDecomposition:

@@ -90,3 +90,55 @@ class TestCorruptionDetection:
         driver.particles.arrays["mass"][0] = np.nan
         with pytest.raises(AssertionError, match="mass"):
             validate_run(driver).raise_on_failure()
+
+
+class TestExactViolationNames:
+    """Each corruption trips *exactly* its own check — the resilience
+    step gate's severity policy keys on ``Violation.check``, so the
+    names must be precise, not just present."""
+
+    @pytest.fixture
+    def driver(self):
+        from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+
+        d = AdiabaticDriver(SimulationConfig(n_per_side=6, pm_mesh=8, n_steps=1))
+        d.run()
+        return d
+
+    def _violated(self, driver):
+        return {v.check for v in validate_run(driver).violations}
+
+    def test_mass_corruption_reports_only_mass(self, driver):
+        # NaN (not a sign flip): a changed mass would also move the
+        # total momentum and trip that check too
+        driver.particles.arrays["mass"][0] = np.nan
+        assert self._violated(driver) == {"mass"}
+
+    def test_position_corruption_reports_only_containment(self, driver):
+        driver.particles.arrays["x"][0] = 2 * driver.particles.box
+        assert self._violated(driver) == {"containment"}
+
+    def test_internal_energy_corruption_reports_only_thermodynamics(self, driver):
+        from repro.hacc.particles import Species
+
+        gas = driver.particles.species_mask(Species.BARYON)
+        idx = np.nonzero(gas)[0][0]
+        driver.particles.arrays["u"][idx] = -1.0
+        assert self._violated(driver) == {"thermodynamics"}
+
+    def test_trace_corruption_reports_only_timer_pattern(self, driver):
+        driver.trace.invocations = [
+            inv for inv in driver.trace.invocations if inv.name != "upGeo"
+        ]
+        assert self._violated(driver) == {"timer_pattern"}
+
+    def test_velocity_corruption_reports_only_momentum(self, driver):
+        driver.particles.arrays["vx"][:] += 1e6
+        assert self._violated(driver) == {"momentum"}
+
+    def test_volume_corruption_reports_only_volumes(self, driver):
+        from repro.hacc.particles import Species
+
+        gas = driver.particles.species_mask(Species.BARYON)
+        driver.particles.arrays["volume"][gas] *= 100.0
+        assert self._violated(driver) == {"volumes"}
