@@ -11,12 +11,39 @@ Commands:
 ``export``     write every artefact to one JSON document
 ``validate``   run the mini-app and audit its invariants
 ``roofline``   roofline positions of the hot kernels on a device
+``trace``      run the mini-app and write trace.json + metrics.json
+``profile``    per-kernel, per-device profile table (cost-model annotated)
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _observability_sinks(args: argparse.Namespace):
+    """(tracer, metrics) when the flags ask for them, else (None, None)."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return None, None
+    from repro.observability import MetricsRegistry, TraceRecorder
+
+    return TraceRecorder(), MetricsRegistry()
+
+
+def _write_observability(args: argparse.Namespace, tracer, metrics) -> None:
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if tracer is not None and trace_out:
+        path = tracer.write(trace_out)
+        print(
+            f"trace written to {path} "
+            f"({len(tracer.spans)} spans, {len(tracer.instants)} events) "
+            "-- open at https://ui.perfetto.dev"
+        )
+    if metrics is not None and metrics_out:
+        print(f"metrics written to {metrics.write(metrics_out)}")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -29,6 +56,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"2x {args.n}^3 particles, box {config.box:.2f} Mpc/h, "
         f"{args.steps} steps z={config.z_initial:.0f} -> {config.z_final:.0f}"
     )
+    tracer, metrics = _observability_sinks(args)
 
     resilient = (
         args.ranks > 1
@@ -37,9 +65,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         or args.checkpoint_dir
     )
     if resilient:
-        return _simulate_resilient(args, config)
+        try:
+            return _simulate_resilient(args, config, tracer, metrics)
+        finally:
+            _write_observability(args, tracer, metrics)
 
     driver = AdiabaticDriver(config)
+    driver.tracer = tracer
+    driver.metrics = metrics
     for diag in driver.run():
         print(
             f"a={diag.a:.5f}  KE={diag.kinetic_energy:.4e}  "
@@ -47,10 +80,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"max_delta={diag.max_density_contrast:.2f}"
         )
     print(f"kernel launches recorded: {len(driver.trace.invocations)}")
+    _write_observability(args, tracer, metrics)
     return 0
 
 
-def _simulate_resilient(args: argparse.Namespace, config) -> int:
+def _simulate_resilient(
+    args: argparse.Namespace, config, tracer=None, metrics=None
+) -> int:
     """The fault-tolerant multi-rank path of ``simulate``."""
     from repro.resilience import (
         FaultPlan,
@@ -93,6 +129,8 @@ def _simulate_resilient(args: argparse.Namespace, config) -> int:
             fault_plan=fault_plan,
             retry_policy=RetryPolicy(max_retries=args.max_retries),
             echo=print,
+            tracer=tracer,
+            metrics=metrics,
         )
     except CheckpointError as exc:
         print(f"error: cannot restart: {exc}")
@@ -213,6 +251,127 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run the mini-app under full tracing; write trace + metrics."""
+    from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+    from repro.observability import MetricsRegistry, TraceRecorder
+
+    config = SimulationConfig(
+        n_per_side=args.n, pm_mesh=max(8, args.n), n_steps=args.steps
+    )
+    tracer = TraceRecorder()
+    metrics = MetricsRegistry()
+    exit_code = 0
+    trace = None
+
+    if args.ranks > 1 or args.faults:
+        from repro.resilience import (
+            FaultPlan,
+            RetryPolicy,
+            SimulationAborted,
+            run_simulation,
+        )
+
+        fault_plan = None
+        if args.faults:
+            try:
+                fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+            except ValueError as exc:
+                print(f"error: invalid --faults plan: {exc}")
+                return 2
+            print(fault_plan.describe())
+        try:
+            result = run_simulation(
+                config,
+                world_size=args.ranks,
+                timeout=args.timeout,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                fault_plan=fault_plan,
+                retry_policy=RetryPolicy(max_retries=args.max_retries),
+                echo=print,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            trace = result.driver.trace
+            print(result.summary())
+        except SimulationAborted as exc:
+            # a lost run is exactly when the trace matters most
+            print(f"simulation lost: {exc}")
+            exit_code = 1
+    else:
+        driver = AdiabaticDriver(config)
+        driver.tracer = tracer
+        driver.metrics = metrics
+        driver.run()
+        trace = driver.trace
+        print(f"{config.n_steps} steps, {len(trace.invocations)} kernel launches")
+
+    if args.device and trace is not None:
+        from repro.machine.registry import device_by_name
+        from repro.observability import profile_trace
+        from repro.proglang.model import CompileError
+
+        try:
+            profile_trace(
+                trace,
+                device_by_name(args.device),
+                model=args.model,
+                variants=args.variant,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            print(f"device timeline added for {args.device}")
+        except CompileError as exc:
+            print(f"device replay skipped (does not compile): {exc}")
+
+    path = tracer.write(args.trace_out)
+    print(
+        f"trace written to {path} "
+        f"({len(tracer.spans)} spans, {len(tracer.instants)} events) "
+        "-- open at https://ui.perfetto.dev"
+    )
+    print(f"metrics written to {metrics.write(args.metrics_out)}")
+    if args.flame:
+        print()
+        print(tracer.flame_summary(limit=30))
+    return exit_code
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-kernel, per-device profile table over the reference trace."""
+    from repro.experiments.workload import reference_trace
+    from repro.machine.registry import all_devices, device_by_name
+    from repro.observability import (
+        KernelProfiler,
+        format_profile_table,
+        profile_trace,
+    )
+    from repro.proglang.model import CompileError
+
+    trace = reference_trace(args.n)
+    if args.device.lower() == "all":
+        devices = list(all_devices())
+    else:
+        devices = [device_by_name(args.device)]
+    profiler = KernelProfiler()
+    priced_any = False
+    for device in devices:
+        try:
+            profile_trace(
+                trace,
+                device,
+                model=args.model,
+                variants=args.variant,
+                profiler=profiler,
+            )
+            priced_any = True
+        except CompileError as exc:
+            print(f"{device.system}: does not compile: {exc}", file=sys.stderr)
+    print(format_profile_table(profiler.rows()))
+    return 0 if priced_any else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -251,6 +410,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--max-retries", type=int, default=3, help="restart budget after failures"
+    )
+    p.add_argument(
+        "--trace-out",
+        help="write a Chrome-trace/Perfetto JSON timeline of the run here",
+    )
+    p.add_argument(
+        "--metrics-out", help="write a metrics snapshot (JSON) of the run here"
     )
     p.set_defaults(func=_cmd_simulate)
 
@@ -297,6 +463,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", default="select")
     p.add_argument("-n", type=int, default=8)
     p.set_defaults(func=_cmd_roofline)
+
+    p = sub.add_parser(
+        "trace", help="run the mini-app and write trace.json + metrics.json"
+    )
+    p.add_argument("-n", type=int, default=6, help="particles per side (2x n^3)")
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument(
+        "--device",
+        help="replay kernels through this device's cost model on a device track",
+    )
+    p.add_argument("--model", default="sycl", help="cuda | hip | sycl | sycl+visa")
+    p.add_argument(
+        "--variant",
+        default="select",
+        help="select | memory32 | memory_object | broadcast | visa",
+    )
+    p.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        help="simulated MPI ranks (>1 gives one timeline track per rank)",
+    )
+    p.add_argument("--faults", help="fault plan (same syntax as simulate)")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--checkpoint-dir", help="directory for simulation checkpoints")
+    p.add_argument("--checkpoint-every", type=int, default=1)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument("-o", "--trace-out", default="trace.json")
+    p.add_argument("--metrics-out", default="metrics.json")
+    p.add_argument(
+        "--flame", action="store_true", help="print a flame summary of the spans"
+    )
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile", help="per-kernel profile table with cost-model annotations"
+    )
+    p.add_argument("device", help="Aurora | Polaris | Frontier | all")
+    p.add_argument("--model", default="sycl", help="cuda | hip | sycl | sycl+visa")
+    p.add_argument(
+        "--variant",
+        default="select",
+        help="select | memory32 | memory_object | broadcast | visa",
+    )
+    p.add_argument("-n", type=int, default=8)
+    p.set_defaults(func=_cmd_profile)
 
     return parser
 

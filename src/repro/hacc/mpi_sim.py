@@ -45,6 +45,8 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.hacc.particles import ParticleData
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import TraceRecorder
 
 
 class RankFailure(RuntimeError):
@@ -153,7 +155,37 @@ class SimComm:
         if timeout is None:
             timeout = self._world.timeout
         self._world.pre_collective(kind, self._rank)
-        return self._world.rendezvous(kind).exchange(self._rank, value, timeout)
+        tracer = self._world.tracer
+        metrics = self._world.metrics
+        begin = time.monotonic()
+        try:
+            result = self._world.rendezvous(kind).exchange(
+                self._rank, value, timeout
+            )
+        except RankFailure as exc:
+            if tracer is not None:
+                tracer.instant(
+                    f"collective-failed:{kind}",
+                    category="mpi",
+                    rank=self._rank,
+                    failed_ranks=list(exc.failed_ranks),
+                )
+            raise
+        finally:
+            elapsed = time.monotonic() - begin
+            if metrics is not None:
+                metrics.counter("mpi.collective.calls").inc()
+                metrics.counter("mpi.collective.seconds").inc(elapsed)
+            if tracer is not None:
+                end = tracer.now()
+                tracer.add_span(
+                    kind,
+                    begin=max(0.0, end - elapsed),
+                    end=end,
+                    category="mpi",
+                    args={"rank": self._rank},
+                )
+        return result
 
     def bcast(self, obj: Any, root: int = 0, timeout: float | None = None) -> Any:
         return self._exchange("bcast", obj, timeout)[root]
@@ -213,7 +245,14 @@ class SimWorld:
     surviving ranks raises :class:`RankFailure`.
     """
 
-    def __init__(self, size: int, timeout: float | None = None):
+    def __init__(
+        self,
+        size: int,
+        timeout: float | None = None,
+        *,
+        tracer: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         if size < 1:
             raise ValueError("world size must be >= 1")
         if timeout is not None and timeout <= 0:
@@ -227,6 +266,12 @@ class SimWorld:
         #: hook called before each collective (kind, rank); the fault
         #: injector uses it to stall a collective past its timeout
         self.pre_collective_hook: Callable[[str, int], None] | None = None
+        #: observability sinks: when set, rank threads run on per-rank
+        #: trace tracks (pid = rank), collectives become spans, and
+        #: rank deaths become instant events — every rank's events
+        #: merge into the one shared timeline
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- supervisor ----------------------------------------------------
     @property
@@ -249,6 +294,16 @@ class SimWorld:
                 rank=rank, reason=reason or f"{type(exc).__name__}: {exc}", exception=exc
             )
             points = list(self._rendezvous.values())
+        if self.tracer is not None:
+            self.tracer.instant(
+                "rank-death",
+                category="resilience",
+                pid=rank,
+                rank=rank,
+                reason=reason or f"{type(exc).__name__}: {exc}",
+            )
+        if self.metrics is not None:
+            self.metrics.counter("resilience.rank_failures").inc()
         for rv in points:
             rv.mark_dead(rank)
 
@@ -288,7 +343,11 @@ class SimWorld:
 
         def runner(rank: int) -> None:
             try:
-                results[rank] = fn(SimComm(self, rank))
+                if self.tracer is not None:
+                    with self.tracer.track(rank, name=f"rank {rank}"):
+                        results[rank] = fn(SimComm(self, rank))
+                else:
+                    results[rank] = fn(SimComm(self, rank))
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors[rank] = exc
                 reason = (

@@ -37,6 +37,8 @@ from repro.hacc.sph.energy import compute_energy_rate
 from repro.hacc.sph.extras import compute_extras
 from repro.hacc.sph.geometry import compute_geometry
 from repro.hacc.sph.pairs import PairContext
+from repro.observability.metrics import INTERACTIONS_BUCKETS, MetricsRegistry
+from repro.observability.tracing import TraceRecorder, maybe_span
 
 #: paper timer names, in call order within one step
 TIMER_NAMES = (
@@ -175,6 +177,11 @@ class AdiabaticDriver:
         self.rng = np.random.default_rng(self.config.seed)
         #: resilience hook: hook(kernel_name, step_index, {name: array})
         self.kernel_hook: Callable[[str, int, dict[str, np.ndarray]], None] | None = None
+        #: observability sinks: when set, the driver opens a span per
+        #: step and per hot-kernel call, and counts launches and
+        #: interactions (see repro.observability)
+        self.tracer: TraceRecorder | None = None
+        self.metrics: MetricsRegistry | None = None
 
     def restore(
         self,
@@ -210,8 +217,20 @@ class AdiabaticDriver:
         """Record one kernel launch and run the resilience hook on its
         freshly produced outputs (before anything consumes them)."""
         self.trace.record(name, n_workitems, per_item)
+        if self.metrics is not None and n_workitems > 0:
+            self.metrics.counter("sim.kernel.launches").inc()
+            self.metrics.counter("sim.kernel.interactions").inc(
+                n_workitems * per_item
+            )
+            self.metrics.histogram(
+                "sim.kernel.interactions_per_item", INTERACTIONS_BUCKETS
+            ).observe(per_item)
         if self.kernel_hook is not None:
             self.kernel_hook(name, self.step_index, outputs)
+
+    def _kernel_span(self, name: str):
+        """Wall-clock span around one hot-kernel evaluation."""
+        return maybe_span(self.tracer, name, category="kernel", step=self.step_index)
 
     # Velocity variable convention: the particle "velocities" are the
     # canonical momenta p = a^2 dx/dt (GADGET convention), which pairs
@@ -220,11 +239,12 @@ class AdiabaticDriver:
     # ------------------------------------------------------------------
     def _gravity(self) -> np.ndarray:
         """Total gravitational acceleration; records the GPU kernel."""
-        acc = self.pm.accelerations(self.particles)  # host-side FFT
-        acc += self.short_range.accelerations(self.particles)
-        n = len(self.particles)
-        pair_count = self.short_range.interaction_count(self.particles)
-        self._record_kernel(GRAVITY_KERNEL, n, pair_count / max(1, n), {"acc": acc})
+        with self._kernel_span(GRAVITY_KERNEL):
+            acc = self.pm.accelerations(self.particles)  # host-side FFT
+            acc += self.short_range.accelerations(self.particles)
+            n = len(self.particles)
+            pair_count = self.short_range.interaction_count(self.particles)
+            self._record_kernel(GRAVITY_KERNEL, n, pair_count / max(1, n), {"acc": acc})
         return acc
 
     def _gas_view(self):
@@ -255,32 +275,35 @@ class AdiabaticDriver:
         vel = p.velocities[idx]
 
         if not label_suffix:
-            geo = compute_geometry(ctx, h)
-            self._record_kernel(
-                "upGeo", n_gas, per_item, {"volume": geo.volume, "h_new": geo.h_new}
-            )
+            with self._kernel_span("upGeo"):
+                geo = compute_geometry(ctx, h)
+                self._record_kernel(
+                    "upGeo", n_gas, per_item, {"volume": geo.volume, "h_new": geo.h_new}
+                )
             p.volume[idx] = geo.volume
             p.hsml[idx] = geo.h_new
             h = geo.h_new
 
-            corr = compute_corrections(ctx, h, geo.volume)
-            self._record_kernel("upCor", n_gas, per_item, {"a": corr.a, "b": corr.b})
+            with self._kernel_span("upCor"):
+                corr = compute_corrections(ctx, h, geo.volume)
+                self._record_kernel("upCor", n_gas, per_item, {"a": corr.a, "b": corr.b})
             self._corr = corr
 
-            extras = compute_extras(
-                ctx, h, geo.volume, mass, vel, p.pressure[idx], corr
-            )
-            self._record_kernel(
-                "upBarEx",
-                n_gas,
-                per_item,
-                {
-                    "rho": extras.rho,
-                    "grad_rho": extras.grad_rho,
-                    "div_v": extras.div_v,
-                    "grad_p": extras.grad_p,
-                },
-            )
+            with self._kernel_span("upBarEx"):
+                extras = compute_extras(
+                    ctx, h, geo.volume, mass, vel, p.pressure[idx], corr
+                )
+                self._record_kernel(
+                    "upBarEx",
+                    n_gas,
+                    per_item,
+                    {
+                        "rho": extras.rho,
+                        "grad_rho": extras.grad_rho,
+                        "div_v": extras.div_v,
+                        "grad_p": extras.grad_p,
+                    },
+                )
             p.rho[idx] = extras.rho
             eos.update_thermodynamics(p)
         else:
@@ -292,17 +315,19 @@ class AdiabaticDriver:
         rho = p.rho[idx]
         pressure = p.pressure[idx]
         cs = p.cs[idx]
-        accel = compute_acceleration(
-            ctx, h, volume, mass, rho, pressure, cs, vel, corr
-        )
-        self._record_kernel(
-            "upBarAc" + label_suffix, n_gas, per_item, {"dv_dt": accel.dv_dt}
-        )
+        with self._kernel_span("upBarAc" + label_suffix):
+            accel = compute_acceleration(
+                ctx, h, volume, mass, rho, pressure, cs, vel, corr
+            )
+            self._record_kernel(
+                "upBarAc" + label_suffix, n_gas, per_item, {"dv_dt": accel.dv_dt}
+            )
 
-        energy = compute_energy_rate(ctx, volume, mass, pressure, vel, accel)
-        self._record_kernel(
-            "upBarDu" + label_suffix, n_gas, per_item, {"du_dt": energy.du_dt}
-        )
+        with self._kernel_span("upBarDu" + label_suffix):
+            energy = compute_energy_rate(ctx, volume, mass, pressure, vel, accel)
+            self._record_kernel(
+                "upBarDu" + label_suffix, n_gas, per_item, {"du_dt": energy.du_dt}
+            )
 
         dv_full = np.zeros((len(p), 3))
         du_full = np.zeros(len(p))
@@ -338,10 +363,19 @@ class AdiabaticDriver:
         the mechanism by which tighter time-step criteria "lead to many
         more calls to the adiabatic kernels" (Section 3.1).
         """
-        if self.config.subcycling:
-            diag = self._step_subcycled(a0, a1)
-        else:
-            diag = self._step_plain(a0, a1)
+        with maybe_span(
+            self.tracer,
+            f"step {self.step_index}",
+            category="step",
+            a0=a0,
+            a1=a1,
+        ):
+            if self.config.subcycling:
+                diag = self._step_subcycled(a0, a1)
+            else:
+                diag = self._step_plain(a0, a1)
+        if self.metrics is not None:
+            self.metrics.counter("sim.steps").inc()
         self.step_index += 1
         return diag
 

@@ -162,7 +162,7 @@ class TracePricer:
         return self._variants[kernel_name]
 
     # ------------------------------------------------------------------
-    def price(self, trace: WorkloadTrace, timers=None) -> TimingReport:
+    def price(self, trace: WorkloadTrace, timers=None, profiler=None) -> TimingReport:
         """Replay ``trace``, returning per-timer simulated seconds.
 
         Raises :class:`CompileError` when any required kernel cannot be
@@ -174,11 +174,18 @@ class TracePricer:
         then bracketed MPI_wtime-style, reproducing the paper's timer
         instrumentation (Section 3.4.4).  Construct it lazily with
         :meth:`executor_timers`.
+
+        ``profiler`` may be a
+        :class:`~repro.observability.profiler.KernelProfiler`; it is
+        attached to this replay's executor and sees every submission
+        with its cost breakdown.
         """
         executor = DeviceExecutor(self.device)
         self._last_executor = executor
         if callable(timers):
             timers = timers(executor)
+        if profiler is not None:
+            profiler.attach(executor)
         report = TimingReport(
             device=self.device.system, model=self.model.value
         )

@@ -41,15 +41,46 @@ class ExecutionRecord:
         return self.cost.seconds
 
 
+#: ledger observer: called after each submission with the fresh record
+#: and the instruction profile it was priced from
+ExecutionObserver = Callable[[ExecutionRecord, InstructionProfile], None]
+
+
 @dataclass
 class DeviceExecutor:
-    """Submits kernels to one virtual device and keeps a time ledger."""
+    """Submits kernels to one virtual device and keeps a time ledger.
+
+    Aggregates (total seconds, per-kernel seconds/calls, per-kernel
+    record lists) are maintained incrementally on every submission, so
+    the ledger queries are O(kernels), not O(records) — the
+    :class:`~repro.observability.profiler.KernelProfiler` and the
+    bracket timers read them on every launch.
+    """
 
     device: DeviceSpec
     records: list[ExecutionRecord] = field(default_factory=list)
 
     def __post_init__(self):
         self.cost_model = CostModel(self.device)
+        #: ledger observers (e.g. a KernelProfiler); see add_observer
+        self.observers: list[ExecutionObserver] = []
+        self._total_seconds = 0.0
+        self._seconds_by_kernel: dict[str, float] = defaultdict(float)
+        self._calls_by_kernel: dict[str, int] = defaultdict(int)
+        self._records_by_kernel: dict[str, list[ExecutionRecord]] = defaultdict(list)
+        for record in self.records:  # pre-seeded ledgers stay consistent
+            self._ingest(record)
+
+    def _ingest(self, record: ExecutionRecord) -> None:
+        self._total_seconds += record.seconds
+        self._seconds_by_kernel[record.kernel_name] += record.seconds
+        self._calls_by_kernel[record.kernel_name] += 1
+        self._records_by_kernel[record.kernel_name].append(record)
+
+    def add_observer(self, observer: ExecutionObserver) -> None:
+        """Subscribe to the ledger: ``observer(record, profile)`` fires
+        after every submission (how the profiler sees launches)."""
+        self.observers.append(observer)
 
     # ------------------------------------------------------------------
     def submit(
@@ -66,9 +97,11 @@ class DeviceExecutor:
         """
         result = body() if body is not None else None
         cost = self.cost_model.kernel_cost(profile, launch)
-        self.records.append(
-            ExecutionRecord(kernel_name=name, launch=launch, cost=cost)
-        )
+        record = ExecutionRecord(kernel_name=name, launch=launch, cost=cost)
+        self.records.append(record)
+        self._ingest(record)
+        for observer in self.observers:
+            observer(record, profile)
         return result
 
     # ------------------------------------------------------------------
@@ -76,22 +109,24 @@ class DeviceExecutor:
     # ------------------------------------------------------------------
     def total_seconds(self) -> float:
         """Total simulated time across all offloaded kernels."""
-        return sum(r.seconds for r in self.records)
+        return self._total_seconds
 
     def seconds_by_kernel(self) -> dict[str, float]:
         """Simulated seconds aggregated by kernel name."""
-        agg: dict[str, float] = defaultdict(float)
-        for r in self.records:
-            agg[r.kernel_name] += r.seconds
-        return dict(agg)
+        return dict(self._seconds_by_kernel)
 
     def calls_by_kernel(self) -> dict[str, int]:
         """Invocation counts by kernel name."""
-        agg: dict[str, int] = defaultdict(int)
-        for r in self.records:
-            agg[r.kernel_name] += 1
-        return dict(agg)
+        return dict(self._calls_by_kernel)
+
+    def records_for(self, kernel_name: str) -> list[ExecutionRecord]:
+        """All execution records of one kernel, in submission order."""
+        return list(self._records_by_kernel.get(kernel_name, ()))
 
     def reset(self) -> None:
         """Clear the ledger (e.g. between warm-up and timed steps)."""
         self.records.clear()
+        self._total_seconds = 0.0
+        self._seconds_by_kernel.clear()
+        self._calls_by_kernel.clear()
+        self._records_by_kernel.clear()

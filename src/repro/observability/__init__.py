@@ -1,0 +1,61 @@
+"""Unified observability: tracing, metrics, and kernel profiling.
+
+The measurement layer the paper's methodology implies (Section 3.4.4's
+validated timers, the per-kernel breakdowns of Figures 9-11), built as
+three cooperating pieces:
+
+- :mod:`repro.observability.tracing` — nested spans and instant events
+  on per-rank tracks, exported as Chrome-trace / Perfetto JSON and a
+  plain-text flame summary;
+- :mod:`repro.observability.metrics` — counters, gauges, and
+  fixed-bucket histograms with JSON snapshot/delta export;
+- :mod:`repro.observability.profiler` — per-launch kernel spans
+  annotated with the cost model's breakdown, rolled up into a
+  per-device, per-kernel profile table.
+
+Capture a trace from the CLI with ``python -m repro trace`` and open
+``trace.json`` at https://ui.perfetto.dev; print the profile table
+with ``python -m repro profile <device>``.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    INTERACTIONS_BUCKETS,
+    METRIC_GLOSSARY,
+    MetricsRegistry,
+)
+from repro.observability.profiler import (
+    DEVICE_TRACK_BASE,
+    KernelProfiler,
+    ProfileRow,
+    format_profile_table,
+    profile_trace,
+)
+from repro.observability.tracing import (
+    DEFAULT_TRACK,
+    InstantEvent,
+    SpanEvent,
+    TraceRecorder,
+    maybe_span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TRACK",
+    "DEVICE_TRACK_BASE",
+    "Gauge",
+    "Histogram",
+    "INTERACTIONS_BUCKETS",
+    "InstantEvent",
+    "KernelProfiler",
+    "METRIC_GLOSSARY",
+    "MetricsRegistry",
+    "ProfileRow",
+    "SpanEvent",
+    "TraceRecorder",
+    "format_profile_table",
+    "maybe_span",
+    "profile_trace",
+]

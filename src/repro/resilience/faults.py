@@ -199,6 +199,10 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._armed: list[FaultSpec] = list(plan.faults)
         self._fired: list[FiredFault] = []
+        #: optional audit callback, called (outside the injector lock,
+        #: on the firing rank's thread) with each FiredFault — the
+        #: observability layer turns these into trace events
+        self.observer: Callable[[FiredFault], None] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -215,14 +219,18 @@ class FaultInjector:
         self, predicate: Callable[[FaultSpec], bool], rank: int, step: int, detail: str
     ) -> FaultSpec | None:
         """Atomically fire-and-disarm the first matching spec."""
+        fired: FiredFault | None = None
         with self._lock:
             for i, spec in enumerate(self._armed):
                 if predicate(spec):
                     del self._armed[i]
-                    self._fired.append(
-                        FiredFault(spec=spec, rank=rank, step=step, detail=detail)
-                    )
-                    return spec
+                    fired = FiredFault(spec=spec, rank=rank, step=step, detail=detail)
+                    self._fired.append(fired)
+                    break
+        if fired is not None:
+            if self.observer is not None:
+                self.observer(fired)
+            return fired.spec
         return None
 
     # -- the four fault kinds ------------------------------------------

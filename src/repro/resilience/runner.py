@@ -143,6 +143,8 @@ def run_simulation(
     guard_policy: GuardPolicy | None = None,
     retry_policy: RetryPolicy | None = None,
     echo: Callable[[str], None] | None = None,
+    tracer=None,
+    metrics=None,
 ) -> SimulationResult:
     """Run the mini-app fault-tolerantly on ``world_size`` ranks.
 
@@ -153,6 +155,14 @@ def run_simulation(
     failures; ``checkpoint_dir`` + ``checkpoint_every`` make the
     recovery; ``restart_from`` resumes an earlier run's checkpoint
     file.
+
+    ``tracer`` (a :class:`~repro.observability.tracing.TraceRecorder`)
+    and ``metrics`` (a
+    :class:`~repro.observability.metrics.MetricsRegistry`) thread the
+    observability layer through the whole run: each rank's steps,
+    kernels, and collectives land on that rank's track of the shared
+    timeline, and injected faults, rank deaths, checkpoint writes, and
+    recovery attempts become trace events/counters.
     """
     config = config or SimulationConfig()
     retry_policy = retry_policy or RetryPolicy()
@@ -160,6 +170,22 @@ def run_simulation(
     if injector is None and fault_plan is not None:
         injector = FaultInjector(fault_plan)
     say = echo or (lambda _msg: None)
+
+    if injector is not None and (tracer is not None or metrics is not None):
+
+        def _observe_fault(fired) -> None:
+            if metrics is not None:
+                metrics.counter("resilience.faults_injected").inc()
+            if tracer is not None:
+                tracer.instant(
+                    f"fault:{fired.spec.kind}",
+                    category="fault",
+                    rank=fired.rank,
+                    step=fired.step,
+                    detail=fired.detail,
+                )
+
+        injector.observer = _observe_fault
 
     manager: CheckpointManager | None = None
     if checkpoint_dir is not None:
@@ -181,7 +207,7 @@ def run_simulation(
     guard_warnings: list[Violation] = []
 
     for attempt in range(retry_policy.max_retries + 1):
-        world = SimWorld(world_size, timeout=timeout)
+        world = SimWorld(world_size, timeout=timeout, tracer=tracer, metrics=metrics)
         if injector is not None:
             world.pre_collective_hook = injector.collective_hook()
         rank0_driver: dict[int, AdiabaticDriver] = {}
@@ -190,6 +216,8 @@ def run_simulation(
         def rank_fn(comm: SimComm) -> int:
             rank = comm.Get_rank()
             driver = _build_driver(config, cosmology, start)
+            driver.tracer = tracer
+            driver.metrics = metrics
             if rank == 0:
                 rank0_driver[0] = driver
             guard = KernelGuard(guard_policy)
@@ -216,10 +244,32 @@ def run_simulation(
                 if rank == 0 and manager is not None:
                     nonlocal write_failures
                     try:
-                        manager.maybe_save(driver)
+                        written = manager.maybe_save(driver)
+                        if written is not None:
+                            n_bytes = written.stat().st_size
+                            if metrics is not None:
+                                metrics.counter("checkpoint.writes").inc()
+                                metrics.counter("checkpoint.bytes").inc(n_bytes)
+                            if tracer is not None:
+                                tracer.instant(
+                                    "checkpoint-write",
+                                    category="checkpoint",
+                                    step=driver.step_index,
+                                    bytes=n_bytes,
+                                    path=str(written),
+                                )
                     except CheckpointWriteFault as exc:
                         # losing a checkpoint must not lose the run
                         write_failures += 1
+                        if metrics is not None:
+                            metrics.counter("checkpoint.write_failures").inc()
+                        if tracer is not None:
+                            tracer.instant(
+                                "checkpoint-write-failed",
+                                category="checkpoint",
+                                step=driver.step_index,
+                                detail=str(exc),
+                            )
                         say(
                             "checkpoint write failed at step "
                             f"{driver.step_index}: {exc}"
@@ -244,6 +294,14 @@ def run_simulation(
                 restarted_from_step=restarted_from,
             )
             attempts.append(record)
+            if tracer is not None:
+                tracer.instant(
+                    "attempt-failed",
+                    category="resilience",
+                    attempt=attempt,
+                    failure=record.failure,
+                    dead_ranks=list(record.dead_ranks),
+                )
             say(
                 f"attempt {attempt} failed ({type(exc).__name__}); "
                 f"dead ranks: {sorted(obits)}"
@@ -262,6 +320,15 @@ def run_simulation(
                 say(f"recovering from checkpoint at step {recovered.step_index}")
             if manager is not None and retry_policy.tighten_cadence:
                 manager.tighten()
+            if metrics is not None:
+                metrics.counter("resilience.retries").inc()
+            if tracer is not None:
+                tracer.instant(
+                    "retry",
+                    category="resilience",
+                    attempt=attempt + 1,
+                    restart_step=recovered.step_index if recovered else 0,
+                )
             continue
 
         driver = rank0_driver[0]

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.machine.executor import DeviceExecutor
+
+if TYPE_CHECKING:
+    from repro.observability.tracing import TraceRecorder
 
 
 @dataclass
@@ -40,17 +43,47 @@ class TimerRecord:
 
 
 class TimerRegistry:
-    """Named bracket timers over a pluggable clock."""
+    """Named bracket timers over a pluggable clock.
 
-    def __init__(self, clock: Callable[[], float] | None = None):
+    The registry is a thin adapter over the span recorder: pass a
+    :class:`~repro.observability.tracing.TraceRecorder` and every
+    completed bracket is also recorded as a span (category ``timer``)
+    on the caller's track, with timestamps relative to the registry's
+    construction on its own clock's timeline.  All existing call sites
+    keep working without a recorder.
+
+    Bracketing discipline is enforced with clear errors: ``start`` of
+    an already-running name and ``stop`` of a never-started name both
+    raise :class:`RuntimeError` naming the timer, instead of silently
+    overwriting the open interval or failing with a bare ``KeyError``
+    from the registry internals.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        *,
+        recorder: "TraceRecorder | None" = None,
+    ):
         self._clock = clock if clock is not None else time.perf_counter
         self._records: dict[str, TimerRecord] = {}
         self._open: dict[str, float] = {}
+        self._recorder = recorder
+        self._epoch = self._clock()
 
     @classmethod
-    def over_executor(cls, executor: DeviceExecutor) -> "TimerRegistry":
+    def over_executor(
+        cls,
+        executor: DeviceExecutor,
+        *,
+        recorder: "TraceRecorder | None" = None,
+    ) -> "TimerRegistry":
         """Timers that read the executor's simulated device time."""
-        return cls(clock=executor.total_seconds)
+        return cls(clock=executor.total_seconds, recorder=recorder)
+
+    def attach_recorder(self, recorder: "TraceRecorder") -> None:
+        """Route subsequently completed brackets into ``recorder``."""
+        self._recorder = recorder
 
     def start(self, name: str) -> None:
         if name in self._open:
@@ -60,8 +93,16 @@ class TimerRegistry:
     def stop(self, name: str) -> float:
         if name not in self._open:
             raise RuntimeError(f"timer {name!r} is not running")
-        interval = self._clock() - self._open.pop(name)
+        begin = self._open.pop(name)
+        interval = self._clock() - begin
         self._records.setdefault(name, TimerRecord()).add(interval)
+        if self._recorder is not None:
+            self._recorder.add_span(
+                name,
+                begin=begin - self._epoch,
+                end=begin - self._epoch + interval,
+                category="timer",
+            )
         return interval
 
     @contextmanager

@@ -32,6 +32,9 @@ def pytest_configure(config):
         "timeout(seconds): per-test watchdog budget (stdlib SIGALRM based; "
         f"default {DEFAULT_TEST_TIMEOUT:.0f}s)",
     )
+    config.addinivalue_line(
+        "markers", "observability: tracing / metrics / profiling tests"
+    )
 
 
 @pytest.fixture(autouse=True)

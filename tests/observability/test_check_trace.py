@@ -1,0 +1,155 @@
+"""Tests for the trace validator tool (``tools/check_trace.py``)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.observability
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+def load_check_trace():
+    """Import ``tools/check_trace.py`` as a module (it is a script)."""
+    name = "tool_check_trace"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name, TOOLS / "check_trace.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check():
+    return load_check_trace()
+
+
+def good_document():
+    return {
+        "traceEvents": [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "rank 0"},
+            },
+            {
+                "name": "step 0",
+                "cat": "step",
+                "ph": "X",
+                "ts": 0.0,
+                "dur": 1000.0,
+                "pid": 0,
+                "tid": 0,
+                "args": {"depth": 0, "path": "step 0"},
+            },
+            {
+                "name": "fault:kill_rank",
+                "cat": "fault",
+                "ph": "i",
+                "ts": 500.0,
+                "pid": 0,
+                "tid": 0,
+                "s": "t",
+                "args": {"rank": 0},
+            },
+        ],
+        "displayTimeUnit": "ms",
+    }
+
+
+class TestValidateEvents:
+    def test_good_document_passes(self, check):
+        assert check.validate_events(good_document()) == []
+
+    def test_top_level_must_be_object(self, check):
+        assert check.validate_events([1, 2]) != []
+
+    def test_missing_trace_events(self, check):
+        assert check.validate_events({"foo": []}) == ["document: missing 'traceEvents' list"]
+
+    def test_bad_display_time_unit(self, check):
+        doc = good_document()
+        doc["displayTimeUnit"] = "fortnights"
+        assert any("displayTimeUnit" in p for p in check.validate_events(doc))
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda e: e.update(ph="Q"), "unsupported phase"),
+            (lambda e: e.update(name=""), "empty 'name'"),
+            (lambda e: e.update(pid="zero"), "'pid' must be an integer"),
+            (lambda e: e.update(tid=None), "'tid' must be an integer"),
+            (lambda e: e.pop("dur"), "needs numeric 'dur'"),
+            (lambda e: e.update(ts=-1.0), "'ts' must be >= 0"),
+            (lambda e: e.update(args=[1]), "'args' must be an object"),
+        ],
+    )
+    def test_malformed_complete_event(self, check, mutate, fragment):
+        doc = good_document()
+        mutate(doc["traceEvents"][1])
+        problems = check.validate_events(doc)
+        assert any(fragment in p for p in problems), problems
+
+    def test_instant_needs_scope(self, check):
+        doc = good_document()
+        del doc["traceEvents"][2]["s"]
+        assert any("scope 's'" in p for p in check.validate_events(doc))
+
+    def test_metadata_needs_args_name(self, check):
+        doc = good_document()
+        doc["traceEvents"][0]["args"] = {}
+        assert any("args.name" in p for p in check.validate_events(doc))
+
+
+class TestValidateFile:
+    def test_good_file(self, check, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(good_document()))
+        assert check.validate_file(path) == []
+
+    def test_not_json(self, check, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("{this is not json")
+        assert any("not valid JSON" in p for p in check.validate_file(path))
+
+    def test_missing_file(self, check, tmp_path):
+        assert any(
+            "cannot read" in p for p in check.validate_file(tmp_path / "nope.json")
+        )
+
+
+class TestMain:
+    def test_exit_zero_on_valid(self, check, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(good_document()))
+        assert check.main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_malformed(self, check, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        assert check.main([str(path)]) == 1
+        assert "event #0" in capsys.readouterr().out
+
+    def test_usage_without_arguments(self, check, capsys):
+        assert check.main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_recorder_output_validates(self, check, tmp_path):
+        from repro.observability import TraceRecorder
+
+        recorder = TraceRecorder()
+        recorder.name_track(0, "rank 0")
+        with recorder.span("step"):
+            with recorder.span("upGeo"):
+                pass
+        recorder.instant("retry", category="resilience", attempt=1)
+        path = recorder.write(tmp_path / "trace.json")
+        assert check.main([str(path)]) == 0

@@ -21,6 +21,8 @@ class TestParser:
             "export",
             "validate",
             "roofline",
+            "trace",
+            "profile",
         }
 
     def test_missing_command_errors(self):

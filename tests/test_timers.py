@@ -39,11 +39,11 @@ class TestBracketTimers:
     def test_double_start_rejected(self):
         timers = TimerRegistry(FakeClock())
         timers.start("a")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="'a' already running"):
             timers.start("a")
 
     def test_stop_without_start_rejected(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="'never' is not running"):
             TimerRegistry(FakeClock()).stop("never")
 
     def test_report_sorted_by_total(self):
@@ -60,6 +60,52 @@ class TestBracketTimers:
     def test_unknown_timer_reads_zero(self):
         timers = TimerRegistry(FakeClock())
         assert timers.total("nothing") == 0.0
+
+
+class TestRecorderAdapter:
+    """The registry doubles as a thin adapter over the span recorder."""
+
+    def test_brackets_emit_timer_spans(self):
+        from repro.observability import TraceRecorder
+
+        clock = FakeClock()
+        clock.t = 10.0  # a non-zero epoch: spans are epoch-relative
+        recorder = TraceRecorder()
+        timers = TimerRegistry(clock, recorder=recorder)
+        with timers.bracket("upGeo"):
+            clock.t += 2.0
+        (span,) = recorder.spans
+        assert span.name == "upGeo"
+        assert span.category == "timer"
+        assert span.start == pytest.approx(0.0)
+        assert span.duration == pytest.approx(2.0)
+        assert span.duration == pytest.approx(timers.total("upGeo"))
+
+    def test_attach_recorder_after_construction(self):
+        from repro.observability import TraceRecorder
+
+        clock = FakeClock()
+        timers = TimerRegistry(clock)
+        with timers.bracket("before"):
+            clock.t += 1.0
+        recorder = TraceRecorder()
+        timers.attach_recorder(recorder)
+        with timers.bracket("after"):
+            clock.t += 1.0
+        assert [s.name for s in recorder.spans] == ["after"]
+
+    def test_over_executor_spans_on_simulated_timeline(self):
+        from repro.observability import TraceRecorder
+
+        executor = DeviceExecutor(FRONTIER)
+        recorder = TraceRecorder()
+        timers = TimerRegistry.over_executor(executor, recorder=recorder)
+        profile = InstructionProfile(fma=500.0, registers_needed=32)
+        launch = KernelLaunch(n_workitems=1 << 16, subgroup_size=64)
+        with timers.bracket("upGeo"):
+            executor.submit("upGeo", profile, launch)
+        (span,) = recorder.spans
+        assert span.duration == pytest.approx(executor.total_seconds())
 
 
 class TestProfilerValidation:

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Validate a Chrome-trace/Perfetto JSON file written by the repro
+observability layer.
+
+Usage::
+
+    python tools/check_trace.py trace.json [trace2.json ...]
+
+Checks, per file:
+
+- the document is valid JSON with a ``traceEvents`` list and a
+  ``displayTimeUnit`` of ``ms`` or ``ns``;
+- every event has a ``ph`` in the supported set (``X``, ``i``, ``M``),
+  a string ``name``, and integer ``pid``/``tid``;
+- complete (``X``) events carry numeric non-negative ``ts`` and
+  ``dur`` microsecond fields;
+- instant (``i``) events carry numeric non-negative ``ts`` and a
+  scope ``s``;
+- metadata (``M``) events are well-formed ``process_name`` /
+  ``thread_name`` entries;
+- ``args``, when present, is a JSON object.
+
+Exit status is 0 when every file passes and 1 otherwise; problems are
+printed one per line as ``file: event #n: message``.  The module is
+importable (used by the test suite): :func:`validate_events` checks a
+decoded document and returns the list of problems, and
+:func:`validate_file` wraps it with file I/O and JSON decoding.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SUPPORTED_PHASES = ("X", "i", "M")
+METADATA_NAMES = ("process_name", "thread_name", "process_sort_index")
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_events(document) -> list[str]:
+    """Schema-check a decoded trace document; return problems found."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document: top level must be a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document: missing 'traceEvents' list"]
+    unit = document.get("displayTimeUnit", "ms")
+    if unit not in ("ms", "ns"):
+        problems.append(f"document: displayTimeUnit must be 'ms' or 'ns', got {unit!r}")
+
+    for i, event in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in SUPPORTED_PHASES:
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing or empty 'name'")
+        if not _is_int(event.get("pid")):
+            problems.append(f"{where}: 'pid' must be an integer")
+        if not _is_int(event.get("tid")):
+            problems.append(f"{where}: 'tid' must be an integer")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object")
+
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not _is_number(value):
+                    problems.append(f"{where}: 'X' event needs numeric {key!r}")
+                elif value < 0:
+                    problems.append(f"{where}: {key!r} must be >= 0, got {value}")
+        elif ph == "i":
+            ts = event.get("ts")
+            if not _is_number(ts):
+                problems.append(f"{where}: 'i' event needs numeric 'ts'")
+            elif ts < 0:
+                problems.append(f"{where}: 'ts' must be >= 0, got {ts}")
+            if event.get("s") not in ("t", "p", "g"):
+                problems.append(f"{where}: 'i' event needs scope 's' in t/p/g")
+        else:  # "M"
+            if name not in METADATA_NAMES:
+                problems.append(f"{where}: unknown metadata event {name!r}")
+            elif name in ("process_name", "thread_name") and (
+                not isinstance(args, dict) or "name" not in args
+            ):
+                problems.append(f"{where}: metadata event needs args.name")
+    return problems
+
+
+def validate_file(path: str | Path) -> list[str]:
+    """Validate one trace file; return the list of problems found."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"cannot read: {exc}"]
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    return validate_events(document)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: check_trace.py TRACE.json [TRACE.json ...]", file=sys.stderr)
+        return 2
+    failed = False
+    for name in argv:
+        problems = validate_file(name)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{name}: {problem}")
+        else:
+            n = len(json.loads(Path(name).read_text())["traceEvents"])
+            print(f"{name}: OK ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
