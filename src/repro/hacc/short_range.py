@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
-from repro.hacc.neighbors import find_pairs
+from repro.hacc.neighbors import CellList, find_pairs
 from repro.hacc.particles import ParticleData
 from repro.hacc.units import G_NEWTON
 
@@ -90,15 +90,47 @@ class ShortRangeSolver:
         #: Plummer softening; defaults to a small fraction of r_s
         self.softening = softening if softening is not None else 0.02 * r_s
         self.kernel = PolynomialForceKernel.fit(r_s, cutoff)
+        #: memoised (positions, i, j) of the last pair search, so the
+        #: cost model (:meth:`interaction_count`) and the force
+        #: evaluation (:meth:`accelerations`) build the list exactly
+        #: once per particle state
+        self._pair_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def pair_list(
+        self, particles: ParticleData, *, cell_list: CellList | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Directed pair list inside the cutoff, memoised per state.
+
+        Repeated calls at identical positions (the accelerations /
+        interaction-count pattern of one force evaluation) reuse the
+        stored list; ``cell_list`` additionally reuses a shared spatial
+        decomposition (see :class:`~repro.hacc.neighbors.CellListCache`).
+        """
+        pos = particles.positions
+        cached = self._pair_cache
+        if (
+            cached is not None
+            and cached[0].shape == pos.shape
+            and np.array_equal(cached[0], pos)
+        ):
+            return cached[1], cached[2]
+        i, j = find_pairs(pos, self.box, self.cutoff, cell_list=cell_list)
+        self._pair_cache = (pos, i, j)
+        return i, j
 
     def accelerations(
-        self, particles: ParticleData, *, use_polynomial: bool = True
+        self,
+        particles: ParticleData,
+        *,
+        use_polynomial: bool = True,
+        cell_list: CellList | None = None,
     ) -> np.ndarray:
         """(n, 3) short-range comoving accelerations."""
         pos = particles.positions
         mass = particles.mass
-        i, j = find_pairs(pos, self.box, self.cutoff)
-        acc = np.zeros((len(particles), 3))
+        n = len(particles)
+        i, j = self.pair_list(particles, cell_list=cell_list)
+        acc = np.zeros((n, 3))
         if len(i) == 0:
             return acc
         d = pos[i] - pos[j]
@@ -109,11 +141,15 @@ class ShortRangeSolver:
         # attraction of i toward j
         f = -G_NEWTON * mass[j] * factor / (r2 * r)
         contrib = f[:, None] * d
+        # per-axis bincount scatter: one contiguous C pass per axis,
+        # replacing the much slower np.add.at (same sums to round-off)
         for axis in range(3):
-            np.add.at(acc[:, axis], i, contrib[:, axis])
+            acc[:, axis] = np.bincount(i, weights=contrib[:, axis], minlength=n)
         return acc
 
-    def interaction_count(self, particles: ParticleData) -> int:
+    def interaction_count(
+        self, particles: ParticleData, *, cell_list: CellList | None = None
+    ) -> int:
         """Number of directed pair interactions (feeds the cost model)."""
-        i, _j = find_pairs(particles.positions, self.box, self.cutoff)
+        i, _j = self.pair_list(particles, cell_list=cell_list)
         return len(i)

@@ -3,17 +3,48 @@
 All five hot kernels iterate the same neighbour structure; CRK-HACC
 builds interaction lists once per step and reuses them.  The
 :class:`PairContext` caches the directed pair list, displacements and
-separations so the kernel modules stay focused on their physics.
+separations so the kernel modules stay focused on their physics, and
+can ride a shared :class:`~repro.hacc.neighbors.CellList` (possibly
+binned over a superset of the SPH particles) so one spatial
+decomposition serves the whole step.
+
+Scatter reductions use a sorted-segment ``np.add.reduceat`` over the
+pair list's CSR structure instead of ``np.add.at``: the pair list is
+sorted by i once, then every reduction is a contiguous segmented sum.
+Summation order within a particle's segment differs from the raw pair
+order ``np.add.at`` used, so results agree with the scatter formulation
+to floating-point round-off (last-ulp), not bitwise.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hacc.neighbors import find_pairs
+from repro.hacc.neighbors import CellList, find_pairs
 from repro.hacc.sph.kernels_math import SUPPORT, cubic_spline, cubic_spline_gradient
+
+#: largest cutoff the minimum-image pair search admits, as a fraction
+#: of the box (strictly below box/2 to keep the image unique)
+MINIMUM_IMAGE_FRACTION = 0.499
+
+
+class CutoffTruncationWarning(RuntimeWarning):
+    """The SPH kernel support exceeded the minimum-image bound and the
+    pair search cutoff was clamped: neighbours beyond the bound are
+    silently missing from every kernel sum."""
+
+
+def sph_cutoff(h: np.ndarray, box: float) -> tuple[float, float]:
+    """(requested, clamped) pair-search cutoff for smoothing lengths ``h``.
+
+    The request is the full kernel support ``SUPPORT * max(h)``; the
+    clamp is the minimum-image bound ``MINIMUM_IMAGE_FRACTION * box``.
+    """
+    requested = float(SUPPORT * np.max(h))
+    return requested, min(requested, MINIMUM_IMAGE_FRACTION * box)
 
 
 @dataclass
@@ -32,8 +63,29 @@ class PairContext:
     n: int          # number of particles
 
     @classmethod
-    def build(cls, pos: np.ndarray, h: np.ndarray, box: float) -> "PairContext":
-        """Pairs within the kernel support ``SUPPORT * max(h)``."""
+    def build(
+        cls,
+        pos: np.ndarray,
+        h: np.ndarray,
+        box: float,
+        *,
+        cell_list: CellList | None = None,
+        subset: np.ndarray | None = None,
+        metrics=None,
+    ) -> "PairContext":
+        """Pairs within the kernel support ``SUPPORT * max(h)``.
+
+        ``cell_list``, when given, is reused instead of re-binning; with
+        ``subset`` it may be binned over a superset of ``pos`` (e.g. the
+        full two-species particle set), ``subset`` giving the rows of
+        the cell list's set that ``pos``/``h`` correspond to.
+
+        A support radius beyond the minimum-image bound cannot be
+        searched; the cutoff is clamped, a
+        :class:`CutoffTruncationWarning` is emitted, and the
+        ``sim.pairs.cutoff_truncated`` counter is incremented on
+        ``metrics`` so the truncation is observable instead of silent.
+        """
         pos = np.asarray(pos, dtype=np.float64)
         h = np.asarray(h, dtype=np.float64)
         if len(pos) == 0:
@@ -41,9 +93,28 @@ class PairContext:
             return cls(i=empty, j=empty, dx=np.zeros((0, 3)), r=np.zeros(0), n=0)
         if np.any(h <= 0):
             raise ValueError("smoothing lengths must be positive")
-        cutoff = float(SUPPORT * h.max())
-        cutoff = min(cutoff, 0.499 * box)
-        idx_i, idx_j = find_pairs(pos, box, cutoff)
+        requested, cutoff = sph_cutoff(h, box)
+        if cutoff < requested:
+            warnings.warn(
+                f"SPH kernel support {requested:.6g} exceeds the "
+                f"minimum-image bound {cutoff:.6g} of box {box:.6g}; "
+                "the pair search is truncated and kernel sums are "
+                "missing far neighbours",
+                CutoffTruncationWarning,
+                stacklevel=2,
+            )
+            if metrics is not None:
+                metrics.counter("sim.pairs.cutoff_truncated").inc()
+        if cell_list is not None and subset is not None:
+            subset = np.asarray(subset, dtype=np.int64)
+            if len(subset) != len(pos):
+                raise ValueError(
+                    f"subset of {len(subset)} rows does not match "
+                    f"{len(pos)} positions"
+                )
+            idx_i, idx_j = cell_list.pairs_within(cutoff, subset=subset)
+        else:
+            idx_i, idx_j = find_pairs(pos, box, cutoff, cell_list=cell_list)
         d = pos[idx_i] - pos[idx_j]
         half = 0.5 * box
         d = (d + half) % box - half
@@ -62,19 +133,35 @@ class PairContext:
         """grad_i W(r_ij, h_i) on all pairs, shape (m, 3)."""
         return cubic_spline_gradient(self.dx, self.r, h[self.i])
 
+    def _segments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(sort order, segment starts, segment particle ids) of the
+        pair list grouped by i; computed once and cached, since every
+        kernel's scatter reuses it."""
+        cached = getattr(self, "_segment_cache", None)
+        if cached is None:
+            order = np.argsort(self.i, kind="stable")
+            i_sorted = self.i[order]
+            starts = np.flatnonzero(
+                np.r_[True, i_sorted[1:] != i_sorted[:-1]]
+            )
+            cached = (order, starts, i_sorted[starts])
+            self._segment_cache = cached
+        return cached
+
     def scatter_sum(self, values: np.ndarray) -> np.ndarray:
         """Sum pair values into per-particle accumulators over i.
 
         ``values`` may be (m,) or (m, k); returns (n,) or (n, k).  This
-        is the vectorised analogue of the GPU kernels' atomic adds.
+        is the vectorised analogue of the GPU kernels' atomic adds,
+        implemented as a sorted-segment reduction (sort by i once, then
+        one contiguous ``np.add.reduceat`` pass per call).
         """
         values = np.asarray(values)
-        if values.ndim == 1:
-            out = np.zeros(self.n)
-            np.add.at(out, self.i, values)
-            return out
         out = np.zeros((self.n,) + values.shape[1:])
-        np.add.at(out, self.i, values)
+        if self.n_pairs == 0:
+            return out
+        order, starts, ids = self._segments()
+        out[ids] = np.add.reduceat(values[order], starts, axis=0)
         return out
 
     def mean_neighbors(self) -> float:

@@ -28,6 +28,7 @@ import numpy as np
 from repro.hacc import eos
 from repro.hacc.cosmology import Cosmology
 from repro.hacc.ic import ICConfig, zeldovich_ics
+from repro.hacc.neighbors import CellListCache
 from repro.hacc.particles import ParticleData, Species
 from repro.hacc.pm import PMConfig, PMSolver
 from repro.hacc.short_range import ShortRangeSolver
@@ -36,7 +37,7 @@ from repro.hacc.sph.corrections import compute_corrections
 from repro.hacc.sph.energy import compute_energy_rate
 from repro.hacc.sph.extras import compute_extras
 from repro.hacc.sph.geometry import compute_geometry
-from repro.hacc.sph.pairs import PairContext
+from repro.hacc.sph.pairs import PairContext, sph_cutoff
 from repro.observability.metrics import INTERACTIONS_BUCKETS, MetricsRegistry
 from repro.observability.tracing import TraceRecorder, maybe_span
 
@@ -169,6 +170,9 @@ class AdiabaticDriver:
         self.short_range = ShortRangeSolver(
             self.config.box, self.pm.split_scale, sr_cutoff
         )
+        #: one spatial decomposition per step, shared by the SPH pair
+        #: context and the short-range gravity (Verlet-skin reuse)
+        self.pair_cache = CellListCache(self.config.box)
         self.trace = WorkloadTrace()
         self.diagnostics: list[StepDiagnostics] = []
         #: completed steps of the configured schedule
@@ -199,6 +203,7 @@ class AdiabaticDriver:
                 f"{self.config.n_steps}-step schedule"
             )
         self.particles = particles
+        self.pair_cache.invalidate()
         self.step_index = int(step_index)
         if trace is not None:
             self.trace = trace
@@ -241,20 +246,32 @@ class AdiabaticDriver:
         """Total gravitational acceleration; records the GPU kernel."""
         with self._kernel_span(GRAVITY_KERNEL):
             acc = self.pm.accelerations(self.particles)  # host-side FFT
-            acc += self.short_range.accelerations(self.particles)
+            cl = self.pair_cache.get(self.particles.positions, self.short_range.cutoff)
+            acc += self.short_range.accelerations(self.particles, cell_list=cl)
             n = len(self.particles)
+            # reuses the memoised pair list the accelerations just built
             pair_count = self.short_range.interaction_count(self.particles)
             self._record_kernel(GRAVITY_KERNEL, n, pair_count / max(1, n), {"acc": acc})
         return acc
 
     def _gas_view(self):
-        """Gas arrays + pair context for the hydro kernels."""
+        """Gas arrays + pair context for the hydro kernels.
+
+        The pair context rides the step's shared cell list (binned over
+        the full two-species set), restricted to the gas subset."""
         p = self.particles
         mask = p.species_mask(Species.BARYON)
         idx = np.nonzero(mask)[0]
-        pos = p.positions[idx]
+        pos_all = p.positions
+        pos = pos_all[idx]
         h = p.hsml[idx]
-        ctx = PairContext.build(pos, h, p.box)
+        if len(idx) == 0:
+            return mask, idx, PairContext.build(pos, h, p.box)
+        _requested, cutoff = sph_cutoff(h, p.box)
+        cl = self.pair_cache.get(pos_all, cutoff)
+        ctx = PairContext.build(
+            pos, h, p.box, cell_list=cl, subset=idx, metrics=self.metrics
+        )
         return mask, idx, ctx
 
     def _hydro_rates(self, label_suffix: str = "") -> tuple[np.ndarray, np.ndarray, float]:
@@ -363,6 +380,9 @@ class AdiabaticDriver:
         the mechanism by which tighter time-step criteria "lead to many
         more calls to the adiabatic kernels" (Section 3.1).
         """
+        # mirror cache hit/rebuild counts into whatever registry the
+        # caller attached after construction
+        self.pair_cache.metrics = self.metrics
         with maybe_span(
             self.tracer,
             f"step {self.step_index}",

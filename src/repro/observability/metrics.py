@@ -27,6 +27,9 @@ METRIC_GLOSSARY: dict[str, str] = {
     "sim.kernel.launches": "hot-kernel launches recorded by the driver (counter)",
     "sim.kernel.interactions": "pair interactions computed, work-items x per-item (counter)",
     "sim.kernel.interactions_per_item": "per-launch mean neighbour count (histogram)",
+    "sim.pairs.cell_list.builds": "cell-list (re)builds in the step-level pair cache (counter)",
+    "sim.pairs.cell_list.hits": "cell-list cache hits under the Verlet-skin criterion (counter)",
+    "sim.pairs.cutoff_truncated": "SPH pair searches clamped to the minimum-image bound (counter)",
     "device.kernel.launches": "kernel submissions priced on a virtual device (counter)",
     "device.kernel.seconds": "simulated device seconds across submissions (counter)",
     "device.atomics.issued": "atomic operations issued on the device, per-launch totals (counter)",

@@ -93,6 +93,44 @@ class TestShortRangeSolver:
         solver = ShortRangeSolver(p.box, r_s=1.0, cutoff=3.0)
         assert solver.interaction_count(p) == 2
 
+    def test_interaction_count_reuses_accelerations_pair_list(self, rng, monkeypatch):
+        # the cost model and the force evaluation must build the pair
+        # list exactly once per particle state
+        import repro.hacc.short_range as sr
+
+        p = ParticleData.allocate(25, box=20.0)
+        p.set_positions(rng.uniform(5, 15, (25, 3)))
+        p.arrays["mass"][:] = 1e10
+        solver = ShortRangeSolver(p.box, r_s=1.0, cutoff=3.0)
+        calls = []
+        real = sr.find_pairs
+        monkeypatch.setattr(
+            sr, "find_pairs", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        solver.accelerations(p)
+        count = solver.interaction_count(p)
+        assert len(calls) == 1
+        assert count == len(real(p.positions, p.box, 3.0)[0])
+        # a moved particle invalidates the memo
+        moved = p.positions
+        moved[0] = (moved[0] + 1.0) % p.box
+        p.set_positions(moved)
+        solver.interaction_count(p)
+        assert len(calls) == 2
+
+    def test_accelerations_accept_shared_cell_list(self, rng):
+        from repro.hacc.neighbors import CellList
+
+        p = ParticleData.allocate(30, box=20.0)
+        p.set_positions(rng.uniform(2, 18, (30, 3)))
+        p.arrays["mass"][:] = rng.uniform(1e9, 1e10, 30)
+        solver = ShortRangeSolver(p.box, r_s=1.0, cutoff=3.0)
+        plain = solver.accelerations(p)
+        solver._pair_cache = None
+        cl = CellList.build(p.positions, p.box, 3.0)
+        shared = solver.accelerations(p, cell_list=cl)
+        assert np.allclose(plain, shared)
+
 
 class TestPMSolver:
     def test_density_contrast_mean_zero(self, small_particles):

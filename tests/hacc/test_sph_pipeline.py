@@ -63,6 +63,51 @@ class TestPairContext:
         pairs = set(zip(ctx.i.tolist(), ctx.j.tolist()))
         assert all((j, i) in pairs for i, j in pairs)
 
+    def test_cutoff_truncation_is_surfaced(self):
+        # a smoothing length whose support exceeds the minimum-image
+        # bound must warn and count, not silently shrink the kernel
+        from repro.hacc.sph.pairs import CutoffTruncationWarning
+        from repro.observability.metrics import MetricsRegistry
+
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 4.0, (30, 3))
+        h = np.full(30, 1.5)  # SUPPORT * h = 3.0 > 0.499 * 4.0
+        registry = MetricsRegistry()
+        with pytest.warns(CutoffTruncationWarning):
+            PairContext.build(pos, h, 4.0, metrics=registry)
+        assert registry.counter("sim.pairs.cutoff_truncated").value == 1
+
+    def test_no_warning_inside_minimum_image_bound(self, recwarn):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 10.0, (30, 3))
+        PairContext.build(pos, np.full(30, 0.5), 10.0)
+        from repro.hacc.sph.pairs import CutoffTruncationWarning
+
+        assert not any(
+            isinstance(w.message, CutoffTruncationWarning) for w in recwarn.list
+        )
+
+    def test_build_on_shared_cell_list_subset_matches_plain(self, state):
+        # the driver path: a cell list binned over the full two-species
+        # set, with the SPH context built on the gas subset
+        from repro.hacc.neighbors import CellList
+
+        pos, h, ctx, box = state
+        rng = np.random.default_rng(3)
+        n_dark = 100
+        full_pos = np.concatenate([rng.uniform(0, box, (n_dark, 3)), pos])
+        subset = np.arange(n_dark, n_dark + len(pos))
+        cl = CellList.build(full_pos, box, 2.0 * h.max())
+        shared = PairContext.build(pos, h, box, cell_list=cl, subset=subset)
+        assert shared.n == ctx.n
+        assert set(zip(shared.i.tolist(), shared.j.tolist())) == set(
+            zip(ctx.i.tolist(), ctx.j.tolist())
+        )
+        order_a = np.lexsort((shared.j, shared.i))
+        order_b = np.lexsort((ctx.j, ctx.i))
+        assert np.allclose(shared.dx[order_a], ctx.dx[order_b])
+        assert np.allclose(shared.r[order_a], ctx.r[order_b])
+
     def test_displacement_consistency(self, state):
         pos, _h, ctx, box = state
         half = 0.5 * box
@@ -75,6 +120,30 @@ class TestPairContext:
         vals = np.ones(ctx.n_pairs)
         out = ctx.scatter_sum(vals)
         assert out.sum() == ctx.n_pairs
+
+    def test_scatter_sum_matches_add_at(self, state):
+        # the segmented reduceat must agree with the np.add.at scatter
+        # it replaced, for every value rank the kernels use
+        _pos, _h, ctx, _box = state
+        rng = np.random.default_rng(11)
+        for shape in [(ctx.n_pairs,), (ctx.n_pairs, 3), (ctx.n_pairs, 3, 3)]:
+            vals = rng.normal(size=shape)
+            ref = np.zeros((ctx.n,) + shape[1:])
+            np.add.at(ref, ctx.i, vals)
+            assert np.allclose(ctx.scatter_sum(vals), ref, atol=1e-12)
+
+    def test_scatter_sum_empty_context(self):
+        ctx = PairContext.build(np.zeros((0, 3)), np.zeros(0), 10.0)
+        assert ctx.scatter_sum(np.zeros(0)).shape == (0,)
+
+    def test_scatter_sum_isolated_particles_get_zero(self):
+        # particles with no neighbours must stay exactly zero under the
+        # segmented reduction (empty segments are skipped, not aliased)
+        pos = np.array([[1.0, 1.0, 1.0], [1.4, 1.0, 1.0], [8.0, 8.0, 8.0]])
+        ctx = PairContext.build(pos, np.full(3, 0.5), 10.0)
+        out = ctx.scatter_sum(np.ones(ctx.n_pairs))
+        assert out[2] == 0.0
+        assert out[0] == 1.0 and out[1] == 1.0
 
 
 class TestGeometry:
