@@ -46,8 +46,24 @@ def _write_observability(args: argparse.Namespace, tracer, metrics) -> None:
         print(f"metrics written to {metrics.write(metrics_out)}")
 
 
+def _timeout_error(args: argparse.Namespace) -> str | None:
+    """Shared ``--timeout`` validation for every subcommand that has
+    one: the flag must be positive wherever it is accepted."""
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        return "error: --timeout must be positive"
+    return None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+
+    problem = _timeout_error(args)
+    if problem:
+        print(problem)
+        return 2
+    if args.chaos_runs:
+        return _simulate_chaos(args)
 
     config = SimulationConfig(
         n_per_side=args.n, pm_mesh=max(8, args.n), n_steps=args.steps
@@ -84,6 +100,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_chaos(args: argparse.Namespace) -> int:
+    """The ``simulate --chaos-runs N`` path: a seeded chaos soak."""
+    from repro.resilience.chaos import soak
+
+    if args.chaos_runs < 1:
+        print("error: --chaos-runs must be >= 1")
+        return 2
+    world_size = args.ranks if args.ranks > 1 else 3
+    report = soak(
+        args.chaos_runs,
+        base_seed=args.chaos_seed,
+        degrade_policy=args.degrade_policy,
+        world_size=world_size,
+        echo=print,
+    )
+    print(
+        f"chaos soak: {len(report.outcomes)} run(s), "
+        f"{report.n_completed} completed ({report.n_degraded} degraded), "
+        f"{report.n_aborted} cleanly aborted -> invariant "
+        f"{'HELD' if report.invariant_ok else 'VIOLATED'}"
+    )
+    return 0 if report.invariant_ok else 1
+
+
 def _simulate_resilient(
     args: argparse.Namespace, config, tracer=None, metrics=None
 ) -> int:
@@ -106,8 +146,9 @@ def _simulate_resilient(
     if args.max_retries < 0:
         print("error: --max-retries must be >= 0")
         return 2
-    if args.timeout is not None and args.timeout <= 0:
-        print("error: --timeout must be positive")
+    problem = _timeout_error(args)
+    if problem:
+        print(problem)
         return 2
 
     fault_plan = None
@@ -128,6 +169,7 @@ def _simulate_resilient(
             restart_from=args.restart_from,
             fault_plan=fault_plan,
             retry_policy=RetryPolicy(max_retries=args.max_retries),
+            degrade_policy=args.degrade_policy,
             echo=print,
             tracer=tracer,
             metrics=metrics,
@@ -256,6 +298,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
     from repro.observability import MetricsRegistry, TraceRecorder
 
+    problem = _timeout_error(args)
+    if problem:
+        print(problem)
+        return 2
     config = SimulationConfig(
         n_per_side=args.n, pm_mesh=max(8, args.n), n_steps=args.steps
     )
@@ -410,6 +456,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--max-retries", type=int, default=3, help="restart budget after failures"
+    )
+    p.add_argument(
+        "--degrade-policy",
+        default="restart",
+        choices=("shrink", "restart", "abort"),
+        help=(
+            "degradation ladder on rank failure: shrink-and-continue, "
+            "restart the world (default, pre-degradation behaviour), "
+            "or abort immediately"
+        ),
+    )
+    p.add_argument(
+        "--chaos-runs",
+        type=int,
+        default=0,
+        help="run N seeded random fault plans (chaos soak) instead of one simulation",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=0, help="base seed for --chaos-runs"
     )
     p.add_argument(
         "--trace-out",

@@ -39,6 +39,11 @@ METRIC_GLOSSARY: dict[str, str] = {
     "resilience.rank_failures": "rank deaths recorded by the world supervisor (counter)",
     "resilience.faults_injected": "fault-injector events fired (counter)",
     "resilience.retries": "attempt restarts performed by the recovery loop (counter)",
+    "sim.resilience.degraded": "runs that finished degraded (shrunk world) rather than restarting (counter)",
+    "sim.resilience.shrinks": "ULFM-style communicator shrinks performed by survivors (counter)",
+    "sim.resilience.buddy_restores": "dead ranks' snapshots adopted from the in-memory buddy tier (counter)",
+    "sim.resilience.checkpoint_skipped": "invalid (zero-byte/torn/corrupt) checkpoint files skipped during recovery discovery (counter)",
+    "sim.resilience.backoff_seconds": "wall seconds slept by the unified BackoffPolicy between retries (counter)",
     "checkpoint.writes": "simulation checkpoints written (counter)",
     "checkpoint.bytes": "bytes of checkpoint data written (counter)",
     "checkpoint.write_failures": "checkpoint writes absorbed as failures (counter)",

@@ -18,10 +18,34 @@ This package gives the reproduction the same property:
   configurable severity;
 - :mod:`repro.resilience.runner` — the fault-tolerant multi-rank
   entry point :func:`~repro.resilience.runner.run_simulation`, which
-  retries from the last checkpoint with bounded backoff.
+  walks the degradation ladder and retries from the last checkpoint
+  with bounded backoff;
+- :mod:`repro.resilience.degrade` — the graceful-degradation ladder
+  (:class:`~repro.resilience.degrade.DegradationPolicy`:
+  shrink-and-continue → restart-world → abort);
+- :mod:`repro.resilience.backoff` — the unified
+  :class:`~repro.resilience.backoff.BackoffPolicy` (exponential +
+  deterministic seeded jitter, budget-aware) behind every transient
+  retry;
+- :mod:`repro.resilience.chaos` — the chaos-soak harness: seeded
+  random fault plans asserting that every run terminates cleanly with
+  correct physics or a coherent abort.
 """
 
 from repro.hacc.checkpoint import CheckpointError
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.chaos import (
+    ChaosOutcome,
+    ChaosReport,
+    random_fault_plan,
+    run_chaos_plan,
+    soak,
+)
+from repro.resilience.degrade import (
+    NAMED_LADDERS,
+    DegradationEvent,
+    DegradationPolicy,
+)
 from repro.resilience.faults import (
     CheckpointWriteFault,
     FaultInjector,
@@ -39,7 +63,12 @@ from repro.resilience.guards import (
     StepGate,
     StepValidationError,
 )
-from repro.resilience.restart import CheckpointManager, SimulationCheckpoint
+from repro.resilience.restart import (
+    BuddyStore,
+    CheckpointManager,
+    DifferentialCheckpoint,
+    SimulationCheckpoint,
+)
 from repro.resilience.runner import (
     AttemptRecord,
     SimulationAborted,
@@ -49,9 +78,16 @@ from repro.resilience.runner import (
 
 __all__ = [
     "AttemptRecord",
+    "BackoffPolicy",
+    "BuddyStore",
+    "ChaosOutcome",
+    "ChaosReport",
     "CheckpointError",
     "CheckpointManager",
     "CheckpointWriteFault",
+    "DegradationEvent",
+    "DegradationPolicy",
+    "DifferentialCheckpoint",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -60,6 +96,7 @@ __all__ = [
     "GuardViolation",
     "InjectedFault",
     "KernelGuard",
+    "NAMED_LADDERS",
     "RankKilled",
     "RetryPolicy",
     "SimulationAborted",
@@ -67,5 +104,8 @@ __all__ = [
     "SimulationResult",
     "StepGate",
     "StepValidationError",
+    "random_fault_plan",
+    "run_chaos_plan",
     "run_simulation",
+    "soak",
 ]

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.hacc.timestep import AdiabaticDriver
 from repro.hacc.validation import RunValidator, Severity, Violation
+from repro.resilience.backoff import BackoffPolicy
 
 
 class GuardError(RuntimeError):
@@ -62,9 +63,12 @@ class RetryPolicy:
 
     #: restarts allowed before the run is declared lost
     max_retries: int = 3
-    #: halve the checkpoint cadence after each recovery (backoff: a
-    #: repeatedly faulting run loses less work per fault)
+    #: halve the checkpoint cadence after each recovery (a repeatedly
+    #: faulting run loses less work per fault)
     tighten_cadence: bool = True
+    #: inter-attempt delay schedule (exponential + deterministic
+    #: seeded jitter); shared by every transient retry in the stack
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
 
     def __post_init__(self):
         if self.max_retries < 0:

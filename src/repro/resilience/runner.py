@@ -15,16 +15,28 @@ MPI world with the full resilience stack threaded through it:
   the timeout) and a divergence detector (replicas must agree
   bit-for-bit; silent corruption on one rank trips
   :class:`DivergenceError`);
-- rank 0 writes periodic :class:`SimulationCheckpoint` files through
-  the :class:`CheckpointManager`; an injected checkpoint-write fault
-  is absorbed (the run continues on the older restart point — losing
-  a checkpoint must not lose the run);
-- when an attempt dies — injected rank kill, guard violation, stalled
-  collective, real bug — the runner restarts every rank from the
-  newest *valid* checkpoint, tightening the checkpoint cadence
-  (bounded retries with backoff), until the run completes or the
-  :class:`~repro.resilience.guards.RetryPolicy` budget is exhausted,
-  at which point :class:`SimulationAborted` carries the full attempt
+- after each validated step every rank deposits a
+  :class:`~repro.resilience.restart.DifferentialCheckpoint` in the
+  in-memory :class:`~repro.resilience.restart.BuddyStore` (one copy
+  for itself, one with its ring buddy), and the lowest rank writes
+  periodic :class:`SimulationCheckpoint` files through the
+  :class:`CheckpointManager`; an injected checkpoint-write fault is
+  absorbed (the run continues on the older restart point — losing a
+  checkpoint must not lose the run);
+- when an attempt degrades or dies, the
+  :class:`~repro.resilience.degrade.DegradationPolicy` ladder decides
+  the response.  Under ``shrink`` the survivors agree on the failure
+  set (:meth:`SimComm.agree`), form a smaller communicator
+  (:meth:`SimComm.shrunk`), roll back to the last agreed step from
+  the buddy tier — the dead rank's holder adopts and verifies the
+  orphaned snapshot — and continue at reduced size, never touching
+  disk.  Under ``restart`` (the default, PR 1 behaviour) the world is
+  torn down and every rank replays from the newest *valid* disk
+  checkpoint, with the checkpoint cadence tightened and the
+  inter-attempt delay drawn from the shared
+  :class:`~repro.resilience.backoff.BackoffPolicy`.  When the ladder
+  ends, or the :class:`~repro.resilience.guards.RetryPolicy` budget
+  is exhausted, :class:`SimulationAborted` carries the full attempt
   history.
 """
 
@@ -38,6 +50,7 @@ from repro.hacc.cosmology import Cosmology
 from repro.hacc.mpi_sim import RankFailure, SimComm, SimWorld
 from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
 from repro.hacc.validation import RunValidator, ValidationReport, Violation
+from repro.resilience.degrade import DegradationEvent, DegradationPolicy
 from repro.resilience.faults import (
     CheckpointWriteFault,
     FaultInjector,
@@ -51,7 +64,12 @@ from repro.resilience.guards import (
     RetryPolicy,
     StepGate,
 )
-from repro.resilience.restart import CheckpointManager, SimulationCheckpoint
+from repro.resilience.restart import (
+    BuddyStore,
+    CheckpointManager,
+    DifferentialCheckpoint,
+    SimulationCheckpoint,
+)
 
 
 class DivergenceError(GuardError):
@@ -63,11 +81,12 @@ class AttemptRecord:
     """One attempt of the recovery loop."""
 
     attempt: int
-    outcome: str  # "completed" | "failed"
+    outcome: str  # "completed" | "degraded" | "failed"
     failure: str | None = None
     dead_ranks: tuple[int, ...] = ()
     obituaries: tuple[str, ...] = ()
     restarted_from_step: int | None = None
+    degradations: tuple[DegradationEvent, ...] = ()
 
 
 @dataclass
@@ -81,6 +100,11 @@ class SimulationResult:
     checkpoints: list[Path] = field(default_factory=list)
     guard_warnings: list[Violation] = field(default_factory=list)
     checkpoint_write_failures: int = 0
+    final_world_size: int | None = None
+
+    def __post_init__(self):
+        if self.final_world_size is None:
+            self.final_world_size = self.world_size
 
     @property
     def ok(self) -> bool:
@@ -91,9 +115,22 @@ class SimulationResult:
         """Did the run survive at least one failed attempt?"""
         return len(self.attempts) > 1
 
+    @property
+    def degradations(self) -> tuple[DegradationEvent, ...]:
+        """Every degradation event across all attempts, in order."""
+        return tuple(e for rec in self.attempts for e in rec.degradations)
+
+    @property
+    def degraded(self) -> bool:
+        """Did the run finish at reduced world size (shrink taken)?"""
+        return self.final_world_size < self.world_size
+
     def summary(self) -> str:
+        size = f"{self.world_size} rank(s)"
+        if self.degraded:
+            size += f" (finished on {self.final_world_size})"
         lines = [
-            f"run: {len(self.attempts)} attempt(s) on {self.world_size} rank(s), "
+            f"run: {len(self.attempts)} attempt(s) on {size}, "
             f"{self.driver.step_index} step(s) completed"
         ]
         for rec in self.attempts:
@@ -103,6 +140,8 @@ class SimulationResult:
             if rec.restarted_from_step is not None:
                 line += f"; restarted from step {rec.restarted_from_step}"
             lines.append(line)
+            for event in rec.degradations:
+                lines.append(f"    {event.describe()}")
         if self.checkpoint_write_failures:
             lines.append(
                 f"  checkpoint writes absorbed: {self.checkpoint_write_failures} failure(s)"
@@ -112,7 +151,7 @@ class SimulationResult:
 
 
 class SimulationAborted(RuntimeError):
-    """The retry budget ran out before the run completed."""
+    """The degradation ladder ended before the run completed."""
 
     def __init__(self, message: str, attempts: list[AttemptRecord]):
         super().__init__(message)
@@ -142,6 +181,7 @@ def run_simulation(
     injector: FaultInjector | None = None,
     guard_policy: GuardPolicy | None = None,
     retry_policy: RetryPolicy | None = None,
+    degrade_policy: DegradationPolicy | str | None = None,
     echo: Callable[[str], None] | None = None,
     tracer=None,
     metrics=None,
@@ -149,24 +189,37 @@ def run_simulation(
     """Run the mini-app fault-tolerantly on ``world_size`` ranks.
 
     Returns a :class:`SimulationResult` whose validation report is the
-    final gate; raises :class:`SimulationAborted` when the
-    :class:`RetryPolicy` budget is exhausted.  ``fault_plan`` (or a
-    pre-armed ``injector``, which wins if both are given) makes the
-    failures; ``checkpoint_dir`` + ``checkpoint_every`` make the
-    recovery; ``restart_from`` resumes an earlier run's checkpoint
-    file.
+    final gate; raises :class:`SimulationAborted` when the degradation
+    ladder (or the :class:`RetryPolicy` budget) is exhausted.
+    ``fault_plan`` (or a pre-armed ``injector``, which wins if both
+    are given) makes the failures; ``checkpoint_dir`` +
+    ``checkpoint_every`` make the disk recovery tier; ``restart_from``
+    resumes an earlier run's checkpoint file.
+
+    ``degrade_policy`` selects the escalation ladder (a
+    :class:`~repro.resilience.degrade.DegradationPolicy`, or one of
+    the names in
+    :data:`~repro.resilience.degrade.NAMED_LADDERS`).  The default,
+    ``"restart"``, reproduces the pre-degradation behaviour exactly;
+    ``"shrink"`` opts in to shrink-and-continue recovery through the
+    in-memory buddy-checkpoint tier.
 
     ``tracer`` (a :class:`~repro.observability.tracing.TraceRecorder`)
     and ``metrics`` (a
     :class:`~repro.observability.metrics.MetricsRegistry`) thread the
     observability layer through the whole run: each rank's steps,
     kernels, and collectives land on that rank's track of the shared
-    timeline, and injected faults, rank deaths, checkpoint writes, and
-    recovery attempts become trace events/counters.
+    timeline, and injected faults, rank deaths, shrinks, buddy
+    restores, checkpoint writes, and recovery attempts become trace
+    events/counters.
     """
     config = config or SimulationConfig()
     retry_policy = retry_policy or RetryPolicy()
     guard_policy = guard_policy or GuardPolicy()
+    if degrade_policy is None:
+        degrade_policy = DegradationPolicy.named("restart")
+    elif isinstance(degrade_policy, str):
+        degrade_policy = DegradationPolicy.named(degrade_policy)
     if injector is None and fault_plan is not None:
         injector = FaultInjector(fault_plan)
     say = echo or (lambda _msg: None)
@@ -190,7 +243,11 @@ def run_simulation(
     manager: CheckpointManager | None = None
     if checkpoint_dir is not None:
         manager = CheckpointManager(
-            checkpoint_dir, every=checkpoint_every, injector=injector
+            checkpoint_dir,
+            every=checkpoint_every,
+            injector=injector,
+            metrics=metrics,
+            io_backoff=retry_policy.backoff,
         )
 
     start: SimulationCheckpoint | None = None
@@ -210,144 +267,269 @@ def run_simulation(
         world = SimWorld(world_size, timeout=timeout, tracer=tracer, metrics=metrics)
         if injector is not None:
             world.pre_collective_hook = injector.collective_hook()
-        rank0_driver: dict[int, AdiabaticDriver] = {}
+        buddies = BuddyStore(tracer=tracer, metrics=metrics)
+        final_drivers: dict[int, AdiabaticDriver] = {}
+        final_warnings: dict[int, list[Violation]] = {}
+        degradation_events: list[DegradationEvent] = []
         restarted_from = start.step_index if start is not None else None
 
         def rank_fn(comm: SimComm) -> int:
-            rank = comm.Get_rank()
+            grank = comm.global_rank
             driver = _build_driver(config, cosmology, start)
             driver.tracer = tracer
             driver.metrics = metrics
-            if rank == 0:
-                rank0_driver[0] = driver
             guard = KernelGuard(guard_policy)
-            guard.install(driver, injector=injector, rank=rank)
+            guard.install(driver, injector=injector, rank=grank)
             gate = StepGate(driver, guard_policy)
             schedule = driver.schedule()
+            # the diff base for buddy snapshots: the attempt's start
+            base = SimulationCheckpoint.capture(driver)
+            shrinks_done = 0
             while driver.step_index < config.n_steps:
                 step = driver.step_index
-                if injector is not None:
-                    injector.on_step_start(rank, step)  # may raise RankKilled
-                a0 = float(schedule[step])
-                a1 = float(schedule[step + 1])
-                diag = driver.step(a0, a1)
-                gate.check(step)
-                # heartbeat + replica agreement: every rank must both
-                # arrive (else RankFailure) and agree bit-for-bit
-                digests = comm.allgather(
-                    (diag.kinetic_energy, diag.thermal_energy)
-                )
-                if any(d != digests[0] for d in digests[1:]):
-                    raise DivergenceError(
-                        f"replicated ranks diverged at step {step}: {digests}"
+                try:
+                    if injector is not None:
+                        injector.on_step_start(grank, step)  # may raise RankKilled
+                    a0 = float(schedule[step])
+                    a1 = float(schedule[step + 1])
+                    diag = driver.step(a0, a1)
+                    gate.check(step)
+                    # heartbeat + replica agreement: every rank must
+                    # both arrive (else RankFailure) and agree
+                    # bit-for-bit
+                    digests = comm.allgather(
+                        (diag.kinetic_energy, diag.thermal_energy)
                     )
-                if rank == 0 and manager is not None:
-                    nonlocal write_failures
-                    try:
-                        written = manager.maybe_save(driver)
-                        if written is not None:
-                            n_bytes = written.stat().st_size
+                    if any(d != digests[0] for d in digests[1:]):
+                        raise DivergenceError(
+                            f"replicated ranks diverged at step {step}: {digests}"
+                        )
+                    # agreed and validated: this step is the new
+                    # rollback point for shrink recovery
+                    buddies.deposit(
+                        grank,
+                        DifferentialCheckpoint.capture(driver, base),
+                        comm.group,
+                    )
+                    if comm.Get_rank() == 0 and manager is not None:
+                        nonlocal write_failures
+                        try:
+                            written = manager.maybe_save(driver)
+                            if written is not None:
+                                n_bytes = written.stat().st_size
+                                if metrics is not None:
+                                    metrics.counter("checkpoint.writes").inc()
+                                    metrics.counter("checkpoint.bytes").inc(n_bytes)
+                                if tracer is not None:
+                                    tracer.instant(
+                                        "checkpoint-write",
+                                        category="checkpoint",
+                                        step=driver.step_index,
+                                        bytes=n_bytes,
+                                        path=str(written),
+                                    )
+                        except CheckpointWriteFault as exc:
+                            # losing a checkpoint must not lose the run
+                            write_failures += 1
                             if metrics is not None:
-                                metrics.counter("checkpoint.writes").inc()
-                                metrics.counter("checkpoint.bytes").inc(n_bytes)
+                                metrics.counter("checkpoint.write_failures").inc()
                             if tracer is not None:
                                 tracer.instant(
-                                    "checkpoint-write",
+                                    "checkpoint-write-failed",
                                     category="checkpoint",
                                     step=driver.step_index,
-                                    bytes=n_bytes,
-                                    path=str(written),
+                                    detail=str(exc),
                                 )
-                    except CheckpointWriteFault as exc:
-                        # losing a checkpoint must not lose the run
-                        write_failures += 1
-                        if metrics is not None:
-                            metrics.counter("checkpoint.write_failures").inc()
+                            say(
+                                "checkpoint write failed at step "
+                                f"{driver.step_index}: {exc}"
+                            )
+                    comm.barrier()
+                except RankFailure as exc:
+                    if not degrade_policy.shrink_enabled:
+                        raise
+                    # ULFM failure detector: a live-but-absent peer is
+                    # declared dead before the agreement, so the
+                    # tolerant rendezvous excludes it (the stalled
+                    # thread later finds itself dead and exits)
+                    for missing in exc.missing_ranks:
+                        world.mark_rank_dead(
+                            missing,
+                            exc,
+                            reason="declared dead: absent from collective",
+                        )
+                    outcome = comm.agree()
+                    survivors = outcome.survivors
+                    dead = tuple(sorted(set(comm.group) - set(survivors)))
+                    # every dead rank's buddy copy must be held by a
+                    # survivor, and this survivor needs its own
+                    # rollback point; otherwise escalate to restart
+                    buddy_ok = buddies.own(grank) is not None and all(
+                        buddies.adoptable(d, survivors) for d in dead
+                    )
+                    decision, reason = degrade_policy.wants_shrink(
+                        survivors=survivors,
+                        shrinks_done=shrinks_done,
+                        buddy_ok=buddy_ok,
+                    )
+                    if not decision:
+                        if grank == min(survivors, default=grank):
+                            say(f"shrink refused at step {step}: {reason}")
+                        raise
+                    # adopt-and-verify the orphaned snapshots: the
+                    # dead rank's ring buddy checksums its copy (the
+                    # replicated state means every survivor then
+                    # rolls back to the same agreed step)
+                    rollback: DifferentialCheckpoint | None = None
+                    for d in dead:
+                        if BuddyStore.buddy_of(d, comm.group) == grank:
+                            adopted = buddies.adopt(d, grank)
+                            if rollback is None:
+                                rollback = adopted
+                    if rollback is None:
+                        rollback = buddies.own(grank)
+                    assert rollback is not None  # buddy_ok checked above
+                    restore_point = rollback.materialise()
+                    driver = restore_point.restore_driver(cosmology)
+                    driver.tracer = tracer
+                    driver.metrics = metrics
+                    guard = KernelGuard(guard_policy)
+                    guard.install(driver, injector=injector, rank=grank)
+                    gate = StepGate(driver, guard_policy)
+                    schedule = driver.schedule()
+                    base = SimulationCheckpoint.capture(driver)
+                    # NB: dead ranks' store entries are left in place —
+                    # purging here would race a slower survivor's
+                    # adopt; they are dropped with the world instead
+                    comm = comm.shrunk(survivors)
+                    shrinks_done += 1
+                    event = DegradationEvent(
+                        step=restore_point.step_index,
+                        action="shrink",
+                        dead_ranks=dead,
+                        survivors=survivors,
+                        reason=reason,
+                    )
+                    if grank == survivors[0]:
+                        degradation_events.append(event)
                         if tracer is not None:
                             tracer.instant(
-                                "checkpoint-write-failed",
-                                category="checkpoint",
-                                step=driver.step_index,
-                                detail=str(exc),
+                                "degrade",
+                                category="resilience",
+                                action="shrink",
+                                step=event.step,
+                                dead_ranks=list(dead),
+                                survivors=list(survivors),
                             )
-                        say(
-                            "checkpoint write failed at step "
-                            f"{driver.step_index}: {exc}"
-                        )
-                comm.barrier()
-            if rank == 0:
-                guard_warnings.extend(gate.warnings)
+                        say(event.describe())
+                    # stabilisation pause: give declared-dead threads
+                    # their wakeup before the survivors press on
+                    retry_policy.backoff.sleep(shrinks_done - 1, metrics=metrics)
+            final_drivers[grank] = driver
+            final_warnings[grank] = list(gate.warnings)
             return driver.step_index
 
-        try:
-            world.run(rank_fn)
-        except (InjectedFault, RankFailure, GuardError) as exc:
-            obits = world.obituaries
-            record = AttemptRecord(
-                attempt=attempt,
-                outcome="failed",
-                failure=f"{type(exc).__name__}: {exc}",
-                dead_ranks=tuple(sorted(obits)),
-                obituaries=tuple(
-                    f"rank {r}: {o.reason}" for r, o in sorted(obits.items())
-                ),
-                restarted_from_step=restarted_from,
-            )
-            attempts.append(record)
-            if tracer is not None:
-                tracer.instant(
-                    "attempt-failed",
-                    category="resilience",
-                    attempt=attempt,
-                    failure=record.failure,
-                    dead_ranks=list(record.dead_ranks),
-                )
-            say(
-                f"attempt {attempt} failed ({type(exc).__name__}); "
-                f"dead ranks: {sorted(obits)}"
-            )
-            if attempt == retry_policy.max_retries:
-                raise SimulationAborted(
-                    f"run lost after {len(attempts)} attempt(s): {exc}", attempts
-                ) from exc
-            # recover: newest valid checkpoint wins; otherwise restart
-            # from the original starting point
-            recovered = (
-                manager.latest(config=config) if manager is not None else None
-            )
-            if recovered is not None:
-                start = recovered
-                say(f"recovering from checkpoint at step {recovered.step_index}")
-            if manager is not None and retry_policy.tighten_cadence:
-                manager.tighten()
-            if metrics is not None:
-                metrics.counter("resilience.retries").inc()
-            if tracer is not None:
-                tracer.instant(
-                    "retry",
-                    category="resilience",
-                    attempt=attempt + 1,
-                    restart_step=recovered.step_index if recovered else 0,
-                )
-            continue
+        results, errors = world.run_outcomes(rank_fn)
+        completed = [r for r in range(world_size) if errors[r] is None]
+        failed = [r for r in range(world_size) if errors[r] is not None]
 
-        driver = rank0_driver[0]
-        attempts.append(
-            AttemptRecord(
-                attempt=attempt,
-                outcome="completed",
-                restarted_from_step=restarted_from,
+        if completed:
+            # the run finished — at full size, or degraded but alive
+            lead = min(completed)
+            driver = final_drivers[lead]
+            guard_warnings.extend(final_warnings.get(lead, []))
+            degraded = bool(failed) or bool(degradation_events)
+            if degraded and metrics is not None:
+                metrics.counter("sim.resilience.degraded").inc()
+            obits = world.obituaries
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    outcome="degraded" if degraded else "completed",
+                    dead_ranks=tuple(sorted(obits)),
+                    obituaries=tuple(
+                        f"rank {r}: {o.reason}" for r, o in sorted(obits.items())
+                    ),
+                    restarted_from_step=restarted_from,
+                    degradations=tuple(degradation_events),
+                )
             )
+            report = RunValidator(driver).validate()
+            return SimulationResult(
+                driver=driver,
+                report=report,
+                world_size=world_size,
+                attempts=attempts,
+                checkpoints=list(manager.written) if manager is not None else [],
+                guard_warnings=guard_warnings,
+                checkpoint_write_failures=write_failures,
+                final_world_size=world_size - len(failed),
+            )
+
+        # every rank died: classify and walk the restart/abort rungs.
+        # The *root-cause* exception is preferred: if one rank died of
+        # a real error and the others of the induced RankFailure, the
+        # real error is what the history (or the re-raise) names.
+        exc = next(
+            (e for e in errors if e is not None and not isinstance(e, RankFailure)),
+            next(e for e in errors if e is not None),
         )
-        report = RunValidator(driver).validate()
-        return SimulationResult(
-            driver=driver,
-            report=report,
-            world_size=world_size,
-            attempts=attempts,
-            checkpoints=list(manager.written) if manager is not None else [],
-            guard_warnings=guard_warnings,
-            checkpoint_write_failures=write_failures,
+        if not isinstance(exc, (InjectedFault, RankFailure, GuardError)):
+            raise exc
+        obits = world.obituaries
+        record = AttemptRecord(
+            attempt=attempt,
+            outcome="failed",
+            failure=f"{type(exc).__name__}: {exc}",
+            dead_ranks=tuple(sorted(obits)),
+            obituaries=tuple(
+                f"rank {r}: {o.reason}" for r, o in sorted(obits.items())
+            ),
+            restarted_from_step=restarted_from,
+            degradations=tuple(degradation_events),
         )
+        attempts.append(record)
+        if tracer is not None:
+            tracer.instant(
+                "attempt-failed",
+                category="resilience",
+                attempt=attempt,
+                failure=record.failure,
+                dead_ranks=list(record.dead_ranks),
+            )
+        say(
+            f"attempt {attempt} failed ({type(exc).__name__}); "
+            f"dead ranks: {sorted(obits)}"
+        )
+        if not degrade_policy.allows_restart:
+            raise SimulationAborted(
+                f"run lost after {len(attempts)} attempt(s) "
+                f"(policy ladder {degrade_policy.ladder} forbids restart): {exc}",
+                attempts,
+            ) from exc
+        if attempt == retry_policy.max_retries:
+            raise SimulationAborted(
+                f"run lost after {len(attempts)} attempt(s): {exc}", attempts
+            ) from exc
+        # recover: newest valid checkpoint wins; otherwise restart
+        # from the original starting point
+        recovered = (
+            manager.latest(config=config) if manager is not None else None
+        )
+        if recovered is not None:
+            start = recovered
+            say(f"recovering from checkpoint at step {recovered.step_index}")
+        if manager is not None and retry_policy.tighten_cadence:
+            manager.tighten()
+        if metrics is not None:
+            metrics.counter("resilience.retries").inc()
+        if tracer is not None:
+            tracer.instant(
+                "retry",
+                category="resilience",
+                attempt=attempt + 1,
+                restart_step=recovered.step_index if recovered else 0,
+            )
+        retry_policy.backoff.sleep(attempt, metrics=metrics)
 
     raise AssertionError("unreachable: retry loop must return or raise")

@@ -294,3 +294,178 @@ class TestDecomposition:
             DomainDecomposition.cubic(
                 small_particles.box, 8, overload=small_particles.box
             )
+
+
+def _collective_call(comm, name):
+    if name == "alltoall":
+        return comm.alltoall([0] * comm.Get_size())
+    return comm.reduce(1, root=0)
+
+
+@pytest.mark.timeout(60)
+class TestUlfmAgreeAndShrink:
+    def test_agree_all_live(self):
+        world = SimWorld(4)
+
+        def fn(c):
+            out = c.agree(value=c.Get_rank() * 2)
+            return (out.failed_ranks, out.survivors, out.contributions[2])
+
+        results = world.run(fn)
+        assert results == [(frozenset(), (0, 1, 2, 3), 4)] * 4
+
+    def test_agree_excludes_dead_rank_for_every_survivor(self):
+        world = SimWorld(4, timeout=5.0)
+
+        def fn(c):
+            if c.Get_rank() == 2:
+                raise RuntimeError("node failure")
+            out = c.agree(value="v")
+            return (sorted(out.survivors), out.failed_ranks)
+
+        results, errors = world.run_outcomes(fn)
+        assert isinstance(errors[2], RuntimeError)
+        live = [results[r] for r in (0, 1, 3)]
+        assert live == [([0, 1, 3], frozenset({2}))] * 3
+
+    def test_agree_declares_stalled_rank_dead_on_timeout(self):
+        """A live-but-absent participant is declared dead by the
+        tolerant agreement, exactly like ULFM's MPI_Comm_agree over a
+        revoked communicator."""
+        world = SimWorld(3, timeout=0.3)
+
+        def fn(c):
+            if c.Get_rank() == 1:
+                time.sleep(1.5)  # never joins the agreement in time
+                return "stalled"
+            out = c.agree()
+            return (sorted(out.survivors), out.failed_ranks)
+
+        results, errors = world.run_outcomes(fn)
+        assert results[0] == ([0, 2], frozenset({1}))
+        assert results[2] == ([0, 2], frozenset({1}))
+
+    def test_shrink_renumbers_and_collectives_work(self):
+        world = SimWorld(4, timeout=5.0)
+
+        def fn(c):
+            if c.Get_rank() == 1:
+                raise RuntimeError("gone")
+            try:
+                c.allreduce(1)
+            except RankFailure:
+                pass
+            sub = c.shrink()
+            assert sub.Get_size() == 3
+            assert sub.group == (0, 2, 3)
+            return (sub.Get_rank(), sub.global_rank, sub.allreduce(sub.global_rank))
+
+        results, errors = world.run_outcomes(fn)
+        assert [results[r] for r in (0, 2, 3)] == [(0, 0, 5), (1, 2, 5), (2, 3, 5)]
+
+    def test_shrunk_twice_nests(self):
+        world = SimWorld(4, timeout=5.0)
+
+        def fn(c):
+            if c.Get_rank() == 3:
+                return None
+            sub = c.shrunk((0, 1, 2))
+            if c.Get_rank() == 1:
+                return None
+            subsub = sub.shrunk((0, 2))
+            return subsub.allgather(subsub.global_rank)
+
+        results = world.run(fn)
+        assert results[0] == [0, 2] and results[2] == [0, 2]
+
+    def test_shrunk_validation(self):
+        world = SimWorld(3)
+
+        def fn(c):
+            if c.Get_rank() == 0:
+                with pytest.raises(ValueError):
+                    c.shrunk(())
+                with pytest.raises(ValueError):
+                    c.shrunk((0, 7))
+                with pytest.raises(RankFailure):
+                    c.shrunk((1, 2))  # caller not among survivors
+            return True
+
+        assert world.run(fn) == [True] * 3
+
+    def test_shrink_emits_metric_once(self):
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        world = SimWorld(3, timeout=5.0, metrics=metrics)
+        world.run(lambda c: None if c.Get_rank() == 2 else c.shrunk((0, 1)))
+        assert metrics.counter("sim.resilience.shrinks").value == 1
+
+
+@pytest.mark.timeout(60)
+class TestMidRendezvousDeath:
+    """A rank dying around an in-flight collective must leave every
+    survivor with the same view of the failure, regardless of whether
+    the victim was first or last to (not) arrive."""
+
+    @pytest.mark.parametrize("collective", ["alltoall", "reduce"])
+    def test_victim_dies_before_survivors_arrive(self, collective):
+        """First-arriver order: the victim is already dead when the
+        survivors reach the collective; they fail fast, then agree on
+        the identical dead set."""
+        world = SimWorld(4, timeout=10.0)
+
+        def fn(c):
+            if c.Get_rank() == 2:
+                raise RuntimeError("early death")
+            time.sleep(0.2)  # let the victim die before anyone arrives
+            start = time.monotonic()
+            with pytest.raises(RankFailure) as exc:
+                _collective_call(c, collective)
+            assert time.monotonic() - start < 5.0  # fail-fast, not timeout
+            assert 2 in exc.value.failed_ranks
+            out = c.agree()
+            return (sorted(out.survivors), out.failed_ranks)
+
+        results, errors = world.run_outcomes(fn)
+        assert isinstance(errors[2], RuntimeError)
+        assert [results[r] for r in (0, 1, 3)] == [([0, 1, 3], frozenset({2}))] * 3
+
+    @pytest.mark.parametrize("collective", ["alltoall", "reduce"])
+    def test_victim_dies_as_last_arriver(self, collective):
+        """Last-arriver order: the survivors are already blocked inside
+        the rendezvous when the victim dies; the supervisor wakes them
+        and they agree on the identical dead set."""
+        world = SimWorld(4, timeout=30.0)
+
+        def fn(c):
+            if c.Get_rank() == 2:
+                time.sleep(0.3)  # everyone else is blocked by now
+                raise RuntimeError("late death")
+            start = time.monotonic()
+            with pytest.raises(RankFailure) as exc:
+                _collective_call(c, collective)
+            assert time.monotonic() - start < 10.0  # woken, not timed out
+            assert 2 in exc.value.failed_ranks
+            out = c.agree()
+            return (sorted(out.survivors), out.failed_ranks)
+
+        results, errors = world.run_outcomes(fn)
+        assert isinstance(errors[2], RuntimeError)
+        assert [results[r] for r in (0, 1, 3)] == [([0, 1, 3], frozenset({2}))] * 3
+
+    def test_survivors_can_finish_on_shrunk_comm_after_death(self):
+        """The full ULFM recovery motion: fail, agree, shrink, and run
+        the same collective to completion on the survivors."""
+        world = SimWorld(4, timeout=10.0)
+
+        def fn(c):
+            if c.Get_rank() == 1:
+                raise RuntimeError("node failure")
+            with pytest.raises(RankFailure):
+                c.alltoall([c.Get_rank()] * 4)
+            sub = c.shrink()
+            return sub.alltoall([f"{sub.global_rank}->{g}" for g in sub.group])
+
+        results, errors = world.run_outcomes(fn)
+        assert results[2] == ["0->2", "2->2", "3->2"]

@@ -56,3 +56,12 @@ class TestQuickExamplesRun:
         out = capsys.readouterr().out
         assert "Standalone kernel replays" in out
         assert "Register-control sweep" in out
+
+    @pytest.mark.timeout(120)
+    def test_degraded_run(self, capsys):
+        load_example("degraded_run").main()
+        out = capsys.readouterr().out
+        assert "finished on 6" in out
+        assert "step 1: shrink" in out
+        assert "step 2: shrink" in out
+        assert "matches the fault-free reference exactly" in out

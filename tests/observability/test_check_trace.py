@@ -153,3 +153,89 @@ class TestMain:
         recorder.instant("retry", category="resilience", attempt=1)
         path = recorder.write(tmp_path / "trace.json")
         assert check.main([str(path)]) == 0
+
+
+class TestResilienceInstantSchema:
+    """Degradation-ladder instants promise specific args; the checker
+    holds them to it so dashboards can rely on the fields."""
+
+    def instant(self, name, args):
+        doc = good_document()
+        doc["traceEvents"].append(
+            {
+                "name": name,
+                "cat": "resilience",
+                "ph": "i",
+                "ts": 600.0,
+                "pid": 0,
+                "tid": 0,
+                "s": "t",
+                "args": args,
+            }
+        )
+        return doc
+
+    def test_wellformed_degradation_instants_pass(self, check):
+        doc = self.instant("shrink", {"dead_ranks": [3], "survivors": [0, 1, 2]})
+        doc["traceEvents"].append(
+            dict(
+                self.instant("buddy-restore", {"rank": 4, "owner": 3})[
+                    "traceEvents"
+                ][-1]
+            )
+        )
+        doc["traceEvents"].append(
+            dict(
+                self.instant("degrade", {"action": "shrink", "step": 1})[
+                    "traceEvents"
+                ][-1]
+            )
+        )
+        doc["traceEvents"].append(
+            dict(self.instant("retry", {"attempt": 1})["traceEvents"][-1])
+        )
+        assert check.validate_events(doc) == []
+
+    @pytest.mark.parametrize(
+        "name, args, missing",
+        [
+            ("shrink", {"survivors": [0]}, "args.dead_ranks"),
+            ("shrink", {"dead_ranks": [1]}, "args.survivors"),
+            ("buddy-restore", {"owner": 3}, "args.rank"),
+            ("degrade", {"step": 1}, "args.action"),
+            ("retry", {}, "args.attempt"),
+        ],
+    )
+    def test_missing_promised_arg_flagged(self, check, name, args, missing):
+        problems = check.validate_events(self.instant(name, args))
+        assert any(missing in p for p in problems), problems
+
+    def test_missing_args_object_flagged(self, check):
+        doc = self.instant("shrink", None)
+        del doc["traceEvents"][-1]["args"]
+        problems = check.validate_events(doc)
+        assert any("args.dead_ranks" in p for p in problems)
+
+    def test_degraded_run_trace_validates(self, check, tmp_path):
+        """End-to-end: the trace written by an actual shrink recovery
+        passes the schema, degradation instants included."""
+        from repro.hacc.timestep import SimulationConfig
+        from repro.observability import TraceRecorder
+        from repro.resilience import FaultPlan, run_simulation
+
+        recorder = TraceRecorder()
+        result = run_simulation(
+            SimulationConfig(n_per_side=4, pm_mesh=8, n_steps=2),
+            world_size=3,
+            timeout=10.0,
+            fault_plan=FaultPlan.parse("kill:rank=1,step=1"),
+            degrade_policy="shrink",
+            tracer=recorder,
+        )
+        assert result.degraded
+        path = recorder.write(tmp_path / "degraded.json")
+        assert check.validate_file(path) == []
+        names = {e["name"] for e in json.loads(path.read_text())["traceEvents"]}
+        assert "shrink" in names
+        assert "degrade" in names
+        assert "buddy-restore" in names

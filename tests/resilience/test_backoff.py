@@ -1,0 +1,84 @@
+"""Tests for the unified retry backoff (``repro.resilience.backoff``)."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.resilience import BackoffPolicy, RetryPolicy
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        """Acceptance: backoff delays are a pure function of the seed."""
+        a = BackoffPolicy(seed=42)
+        b = BackoffPolicy(seed=42)
+        assert a.schedule(8) == b.schedule(8)
+        assert [a.delay_for(i) for i in range(8)] == list(b.schedule(8))
+
+    def test_different_seeds_differ(self):
+        assert BackoffPolicy(seed=1).schedule(6) != BackoffPolicy(seed=2).schedule(6)
+
+    def test_attempts_are_independent_draws(self):
+        # jitter for attempt k must not depend on earlier attempts
+        policy = BackoffPolicy(seed=7)
+        assert policy.delay_for(5) == BackoffPolicy(seed=7).delay_for(5)
+
+
+class TestShape:
+    def test_exponential_growth_until_cap(self):
+        policy = BackoffPolicy(
+            base_delay=0.1, factor=2.0, max_delay=0.8, jitter=0.0, seed=0
+        )
+        assert policy.schedule(5) == [0.1, 0.2, 0.4, 0.8, 0.8]
+
+    def test_jitter_bounded(self):
+        policy = BackoffPolicy(base_delay=1.0, factor=1.0, jitter=0.25, seed=3)
+        for attempt in range(20):
+            delay = policy.delay_for(attempt)
+            assert 1.0 <= delay <= 1.25
+
+    def test_budget_clamps_cumulative_sleep(self):
+        policy = BackoffPolicy(
+            base_delay=1.0, factor=2.0, max_delay=10.0, jitter=0.0, budget=4.0
+        )
+        schedule = policy.schedule(6)
+        assert sum(schedule) == pytest.approx(4.0)
+        # the clamp hits mid-schedule, then everything after is zero
+        assert schedule[0] == 1.0
+        assert schedule[-1] == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=-0.1)
+
+
+class TestSleep:
+    def test_sleep_uses_injected_sleeper_and_counts_metric(self):
+        slept = []
+        metrics = MetricsRegistry()
+        policy = BackoffPolicy(base_delay=0.25, jitter=0.0, seed=0)
+        policy.sleep(0, sleeper=slept.append, metrics=metrics)
+        policy.sleep(1, sleeper=slept.append, metrics=metrics)
+        assert slept == [0.25, 0.5]
+        counter = metrics.counter("sim.resilience.backoff_seconds")
+        assert counter.value == pytest.approx(0.75)
+
+    def test_zero_delay_skips_sleeper(self):
+        slept = []
+        policy = BackoffPolicy(base_delay=1.0, jitter=0.0, budget=0.0)
+        policy.sleep(0, sleeper=slept.append)
+        assert slept == []
+
+
+class TestRetryPolicyIntegration:
+    def test_retry_policy_carries_a_backoff(self):
+        policy = RetryPolicy(max_retries=2)
+        assert isinstance(policy.backoff, BackoffPolicy)
+
+    def test_custom_backoff_threads_through(self):
+        backoff = BackoffPolicy(base_delay=0.01, seed=9)
+        policy = RetryPolicy(max_retries=1, backoff=backoff)
+        assert policy.backoff.schedule(3) == backoff.schedule(3)

@@ -1,0 +1,74 @@
+"""Chaos-soak tests: seeded random fault plans must terminate cleanly.
+
+The termination invariant under test (ISSUE acceptance): every chaos
+run either completes with physics matching the fault-free reference,
+or aborts cleanly with a coherent attempt history — and never hangs
+(the suite watchdog in ``conftest.py`` enforces the last part).
+"""
+
+import pytest
+
+from repro.resilience.chaos import (
+    ChaosOutcome,
+    random_fault_plan,
+    run_chaos_plan,
+    soak,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultPlanGenerator:
+    def test_deterministic_for_fixed_seed(self):
+        a = random_fault_plan(11)
+        b = random_fault_plan(11)
+        assert a.describe() == b.describe()
+
+    def test_distinct_seeds_vary(self):
+        plans = {random_fault_plan(seed).describe() for seed in range(12)}
+        assert len(plans) > 1
+
+    def test_specs_stay_in_bounds(self):
+        for seed in range(20):
+            plan = random_fault_plan(seed, world_size=3, n_steps=2, max_faults=2)
+            assert 1 <= len(plan.faults) <= 2
+            for spec in plan.faults:
+                # -1 is the FaultSpec wildcard ("any rank" / "any step")
+                assert -1 <= spec.rank < 3
+                assert -1 <= spec.step < 2
+
+
+class TestSingleRuns:
+    @pytest.mark.timeout(120)
+    def test_kill_plan_completes_or_aborts_cleanly(self, tmp_path):
+        outcome = run_chaos_plan(2, checkpoint_root=tmp_path)
+        assert isinstance(outcome, ChaosOutcome)
+        assert outcome.ok, outcome.describe()
+
+    @pytest.mark.timeout(120)
+    def test_outcome_reproducible_modulo_timing(self, tmp_path):
+        first = run_chaos_plan(5, checkpoint_root=tmp_path / "a")
+        second = run_chaos_plan(5, checkpoint_root=tmp_path / "b")
+        assert first.status == second.status
+        assert first.attempts == second.attempts
+        assert first.shrinks == second.shrinks
+
+
+@pytest.mark.timeout(1800)
+class TestSoakAcceptance:
+    def test_thirty_plans_hold_the_invariant(self):
+        """Acceptance: >= 30 seeded chaos plans all terminate cleanly
+        under the shrink ladder (in-memory buddy tier only)."""
+        report = soak(30, base_seed=0, degrade_policy="shrink")
+        assert len(report.outcomes) == 30
+        assert report.invariant_ok, report.summary()
+        # the sweep must actually exercise both terminal states' logic:
+        # most plans complete, and the sweep mixes degraded/clean runs
+        assert report.n_completed + report.n_aborted == 30
+        assert report.n_completed > 0
+
+    def test_restart_ladder_soaks_clean_too(self):
+        report = soak(8, base_seed=100, degrade_policy="restart")
+        assert report.invariant_ok, report.summary()
+        # the restart ladder never shrinks the world
+        assert all(o.shrinks == 0 for o in report.outcomes)

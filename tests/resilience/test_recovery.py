@@ -227,3 +227,122 @@ class TestFaultFreePath:
             resumed.driver.diagnostics[-1].kinetic_energy
             == first.driver.diagnostics[-1].kinetic_energy
         )
+
+
+@pytest.mark.timeout(180)
+class TestGracefulDegradation:
+    """Shrink-and-continue acceptance: a kill finishes the run on a
+    smaller world with exact physics, without restarting from disk."""
+
+    def test_kill_completes_via_shrink_with_exact_physics(
+        self, tmp_path, fault_free_driver
+    ):
+        """Acceptance: rank 3 dies at step 1 of an 8-rank run under the
+        shrink ladder; the run completes in ONE attempt on 7 ranks and
+        conserved quantities match the fault-free reference."""
+        result = run_simulation(
+            small_config(),
+            world_size=8,
+            timeout=10.0,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=1,
+            fault_plan=FaultPlan.parse("kill:rank=3,step=1", seed=7),
+            degrade_policy="shrink",
+        )
+        assert result.ok, result.report.summary()
+        assert result.degraded
+        assert not result.recovered  # no restart happened
+        assert len(result.attempts) == 1
+        assert result.attempts[0].outcome == "degraded"
+        assert result.final_world_size == 7
+        (event,) = result.degradations
+        assert event.action == "shrink"
+        assert event.dead_ranks == (3,)
+        assert sorted(event.survivors) == [r for r in range(8) if r != 3]
+        for ref, got in zip(
+            fault_free_driver.diagnostics, result.driver.diagnostics
+        ):
+            assert got.kinetic_energy == ref.kinetic_energy
+            assert got.thermal_energy == ref.thermal_energy
+            np.testing.assert_array_equal(got.total_momentum, ref.total_momentum)
+
+    def test_two_kills_shrink_twice_without_disk(self, fault_free_driver):
+        """Two separate node failures, no checkpoint directory at all:
+        the buddy tier alone carries the run from 8 ranks down to 6."""
+        result = run_simulation(
+            small_config(),
+            world_size=8,
+            timeout=10.0,
+            fault_plan=FaultPlan.parse("kill:rank=3,step=1;kill:rank=5,step=2", seed=7),
+            degrade_policy="shrink",
+            retry_policy=RetryPolicy(max_retries=1),
+        )
+        assert result.ok
+        assert result.final_world_size == 6
+        assert len(result.attempts) == 1
+        assert [e.dead_ranks for e in result.degradations] == [(3,), (5,)]
+        for ref, got in zip(
+            fault_free_driver.diagnostics, result.driver.diagnostics
+        ):
+            assert got.kinetic_energy == ref.kinetic_energy
+
+    def test_restart_policy_preserves_pre_degradation_behaviour(self, tmp_path):
+        """The default ladder ("restart") must reproduce the historic
+        two-attempt restart-from-checkpoint recovery exactly."""
+        kwargs = dict(
+            world_size=8,
+            timeout=10.0,
+            checkpoint_every=1,
+            fault_plan=FaultPlan.parse("kill:rank=3,step=1", seed=7),
+        )
+        implicit = run_simulation(
+            small_config(), checkpoint_dir=tmp_path / "implicit", **kwargs
+        )
+        explicit = run_simulation(
+            small_config(),
+            checkpoint_dir=tmp_path / "explicit",
+            degrade_policy="restart",
+            **kwargs,
+        )
+        for result in (implicit, explicit):
+            assert result.recovered and result.ok
+            assert not result.degraded
+            assert result.final_world_size == 8
+            assert [rec.outcome for rec in result.attempts] == [
+                "failed",
+                "completed",
+            ]
+            assert result.attempts[1].restarted_from_step == 1
+
+    def test_abort_policy_fails_fast_without_retrying(self, tmp_path):
+        with pytest.raises(SimulationAborted) as exc:
+            run_simulation(
+                small_config(n_steps=2),
+                world_size=2,
+                timeout=10.0,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=1,
+                fault_plan=FaultPlan.parse("kill:rank=1,step=1"),
+                degrade_policy="abort",
+                retry_policy=RetryPolicy(max_retries=3),  # ladder overrides budget
+            )
+        assert len(exc.value.attempts) == 1
+
+    def test_min_ranks_floor_falls_back_to_restart(self, tmp_path):
+        """A shrink that would go below min_ranks is refused; the
+        ladder's next rung (restart) recovers the run instead."""
+        from repro.resilience import DegradationPolicy
+
+        result = run_simulation(
+            small_config(n_steps=2),
+            world_size=2,
+            timeout=10.0,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=1,
+            fault_plan=FaultPlan.parse("kill:rank=1,step=1"),
+            degrade_policy=DegradationPolicy.named("shrink", min_ranks=2),
+        )
+        assert result.ok
+        assert result.recovered  # restarted, did not shrink to 1
+        assert result.final_world_size == 2
+        assert not result.degradations

@@ -242,3 +242,135 @@ class TestCheckpointManager:
             CheckpointManager(tmp_path, every=0)
         with pytest.raises(ValueError):
             CheckpointManager(tmp_path, keep=0)
+
+
+class TestLatestSkipsDamagedFiles:
+    """Recovery discovery must step over zero-byte and torn files
+    (warning + ``sim.resilience.checkpoint_skipped``), never crash."""
+
+    def test_zero_byte_file_skipped_with_warning_and_counter(
+        self, tmp_path, checkpoint
+    ):
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        manager = CheckpointManager(tmp_path, metrics=metrics)
+        checkpoint.save(manager.path_for(1))
+        manager.path_for(2).write_bytes(b"")  # a crashed writer's leavings
+        with pytest.warns(RuntimeWarning, match="skipping invalid checkpoint"):
+            latest = manager.latest()
+        assert latest is not None and latest.step_index == checkpoint.step_index
+        assert metrics.counter("sim.resilience.checkpoint_skipped").value == 1
+
+    def test_torn_tail_skipped(self, tmp_path, checkpoint):
+        """Regression: a file truncated mid-write (torn tail) anywhere
+        in the directory must not mask an older good checkpoint."""
+        import dataclasses
+
+        manager = CheckpointManager(tmp_path)
+        good = dataclasses.replace(checkpoint, step_index=1)
+        good.save(manager.path_for(1))
+        whole = manager.path_for(2)
+        dataclasses.replace(checkpoint, step_index=2).save(whole)
+        torn = whole.read_bytes()
+        whole.write_bytes(torn[: len(torn) - len(torn) // 3])
+        with pytest.warns(RuntimeWarning, match="skipping invalid checkpoint"):
+            latest = manager.latest()
+        assert latest is not None and latest.step_index == 1
+
+    def test_every_file_damaged_returns_none(self, tmp_path):
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        manager = CheckpointManager(tmp_path, metrics=metrics)
+        manager.path_for(1).write_bytes(b"")
+        manager.path_for(2).write_bytes(b"not a checkpoint")
+        with pytest.warns(RuntimeWarning):
+            assert manager.latest() is None
+        assert metrics.counter("sim.resilience.checkpoint_skipped").value == 2
+
+
+class TestDifferentialCheckpoint:
+    def test_capture_stores_only_dirty_arrays(self, mid_run_driver):
+        from repro.resilience.restart import DifferentialCheckpoint
+
+        base = SimulationCheckpoint.capture(mid_run_driver)
+        diff = DifferentialCheckpoint.capture(mid_run_driver, base)
+        assert diff.n_dirty == 0  # nothing moved since the base
+
+    def test_materialise_round_trips(self, mid_run_driver):
+        from repro.resilience.restart import DifferentialCheckpoint
+
+        base = SimulationCheckpoint.capture(mid_run_driver)
+        driver = base.restore_driver()
+        schedule = driver.schedule()
+        driver.step(float(schedule[2]), float(schedule[3]))
+        diff = DifferentialCheckpoint.capture(driver, base)
+        assert diff.n_dirty > 0
+        restored = diff.materialise().restore_driver()
+        assert restored.step_index == driver.step_index
+        for name, arr in driver.particles.arrays.items():
+            np.testing.assert_array_equal(restored.particles.arrays[name], arr)
+
+    def test_corruption_detected_before_materialise(self, mid_run_driver):
+        from repro.resilience.restart import DifferentialCheckpoint
+
+        base = SimulationCheckpoint.capture(mid_run_driver)
+        driver = base.restore_driver()
+        schedule = driver.schedule()
+        driver.step(float(schedule[2]), float(schedule[3]))
+        diff = DifferentialCheckpoint.capture(driver, base)
+        name = next(iter(diff.dirty_arrays))
+        diff.dirty_arrays[name][0] += 1e-3  # silent corruption in transit
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            diff.materialise()
+
+
+class TestBuddyStore:
+    @pytest.fixture
+    def snapshot(self, mid_run_driver):
+        from repro.resilience.restart import DifferentialCheckpoint
+
+        base = SimulationCheckpoint.capture(mid_run_driver)
+        return DifferentialCheckpoint.capture(mid_run_driver, base)
+
+    def test_buddy_ring(self):
+        from repro.resilience.restart import BuddyStore
+
+        group = (0, 2, 3, 7)
+        assert BuddyStore.buddy_of(0, group) == 2
+        assert BuddyStore.buddy_of(7, group) == 0  # wraps the ring
+        assert BuddyStore.buddy_of(3, group) == 7
+
+    def test_deposit_and_adopt(self, snapshot):
+        from repro.observability import MetricsRegistry
+        from repro.resilience.restart import BuddyStore
+
+        metrics = MetricsRegistry()
+        store = BuddyStore(metrics=metrics)
+        group = (0, 1, 2, 3)
+        for rank in group:
+            store.deposit(rank, snapshot, group)
+        # rank 1 dies; its buddy (rank 2) holds a copy
+        assert store.adoptable(1, survivors=(0, 2, 3))
+        adopted = store.adopt(1, adopter=2)
+        assert adopted.step_index == snapshot.step_index
+        assert metrics.counter("sim.resilience.buddy_restores").value == 1
+
+    def test_not_adoptable_when_holder_also_died(self, snapshot):
+        from repro.resilience.restart import BuddyStore
+
+        store = BuddyStore()
+        group = (0, 1, 2)
+        for rank in group:
+            store.deposit(rank, snapshot, group)
+        # ranks 1 and its buddy 2 both die: nobody holds rank 1's copy
+        assert not store.adoptable(1, survivors=(0,))
+
+    def test_own_returns_private_rollback_point(self, snapshot):
+        from repro.resilience.restart import BuddyStore
+
+        store = BuddyStore()
+        store.deposit(0, snapshot, (0, 1))
+        assert store.own(0) is snapshot
+        assert store.own(1) is None

@@ -84,3 +84,59 @@ class TestCommands:
         assert "# CRK-HACC SYCL performance-portability reproduction" in text
         assert "Figure 12" in text
         assert "Table 2" in text
+
+
+class TestDegradationFlags:
+    def test_degrade_policy_choices_enforced(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--degrade-policy", "catch-fire"]
+            )
+
+    def test_degrade_policy_default_is_restart(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.degrade_policy == "restart"
+        assert args.chaos_runs == 0
+
+    def test_simulate_shrink_kill_finishes_degraded(self, capsys):
+        code = main(
+            [
+                "simulate", "-n", "4", "--steps", "2", "--ranks", "3",
+                "--degrade-policy", "shrink",
+                "--faults", "kill:rank=1,step=1",
+                "--timeout", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "finished on 2" in out
+        assert "shrink" in out
+
+    def test_chaos_runs_flag_soaks(self, capsys):
+        code = main(
+            ["simulate", "--chaos-runs", "2", "--chaos-seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "chaos soak: 2 run(s)" in out
+        assert "invariant HELD" in out
+
+    def test_chaos_runs_must_be_positive(self, capsys):
+        assert main(["simulate", "--chaos-runs", "-4"]) == 2
+        assert "--chaos-runs" in capsys.readouterr().out
+
+
+class TestTimeoutValidation:
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_simulate_rejects_nonpositive_timeout(self, capsys, value):
+        assert main(["simulate", "--timeout", value]) == 2
+        assert "--timeout must be positive" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_trace_rejects_nonpositive_timeout(self, capsys, value):
+        assert main(["trace", "--timeout", value]) == 2
+        assert "--timeout must be positive" in capsys.readouterr().out
+
+    def test_resilient_simulate_rejects_nonpositive_timeout(self, capsys):
+        assert main(["simulate", "--ranks", "2", "--timeout", "0"]) == 2
+        assert "--timeout must be positive" in capsys.readouterr().out

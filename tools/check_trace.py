@@ -18,7 +18,11 @@ Checks, per file:
   scope ``s``;
 - metadata (``M``) events are well-formed ``process_name`` /
   ``thread_name`` entries;
-- ``args``, when present, is a JSON object.
+- ``args``, when present, is a JSON object;
+- resilience/degradation instants (``shrink``, ``buddy-restore``,
+  ``degrade``, ``retry``) carry the args the degradation ladder
+  promises (see :data:`RESILIENCE_INSTANT_ARGS`), so dashboards can
+  rely on them.
 
 Exit status is 0 when every file passes and 1 otherwise; problems are
 printed one per line as ``file: event #n: message``.  The module is
@@ -35,6 +39,14 @@ from pathlib import Path
 
 SUPPORTED_PHASES = ("X", "i", "M")
 METADATA_NAMES = ("process_name", "thread_name", "process_sort_index")
+
+#: required args keys for the degradation-ladder instant events
+RESILIENCE_INSTANT_ARGS = {
+    "shrink": ("dead_ranks", "survivors"),
+    "buddy-restore": ("rank", "owner"),
+    "degrade": ("action", "step"),
+    "retry": ("attempt",),
+}
 
 
 def _is_int(value) -> bool:
@@ -92,6 +104,14 @@ def validate_events(document) -> list[str]:
                 problems.append(f"{where}: 'ts' must be >= 0, got {ts}")
             if event.get("s") not in ("t", "p", "g"):
                 problems.append(f"{where}: 'i' event needs scope 's' in t/p/g")
+            required = RESILIENCE_INSTANT_ARGS.get(name)
+            if required is not None:
+                present = args if isinstance(args, dict) else {}
+                for key in required:
+                    if key not in present:
+                        problems.append(
+                            f"{where}: {name!r} instant needs args.{key}"
+                        )
         else:  # "M"
             if name not in METADATA_NAMES:
                 problems.append(f"{where}: unknown metadata event {name!r}")
