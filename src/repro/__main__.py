@@ -13,6 +13,7 @@ Commands:
 ``roofline``   roofline positions of the hot kernels on a device
 ``trace``      run the mini-app and write trace.json + metrics.json
 ``profile``    per-kernel, per-device profile table (cost-model annotated)
+``dashboard``  render a recorded telemetry event log (JSONL) as a dashboard
 """
 
 from __future__ import annotations
@@ -20,21 +21,28 @@ from __future__ import annotations
 import argparse
 import sys
 
+#: simulate/trace flags that require live observability sinks
+_SINK_FLAGS = ("trace_out", "metrics_out", "events_out", "openmetrics_out")
+
 
 def _observability_sinks(args: argparse.Namespace):
     """(tracer, metrics) when the flags ask for them, else (None, None)."""
-    trace_out = getattr(args, "trace_out", None)
-    metrics_out = getattr(args, "metrics_out", None)
-    if not trace_out and not metrics_out:
+    wanted = any(getattr(args, flag, None) for flag in _SINK_FLAGS)
+    wanted = wanted or getattr(args, "live", False) or getattr(args, "health", False)
+    if not wanted:
         return None, None
     from repro.observability import MetricsRegistry, TraceRecorder
 
     return TraceRecorder(), MetricsRegistry()
 
 
-def _write_observability(args: argparse.Namespace, tracer, metrics) -> None:
+def _write_observability(
+    args: argparse.Namespace, tracer, metrics, monitor=None, alerts=None
+) -> None:
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    events_out = getattr(args, "events_out", None)
+    openmetrics_out = getattr(args, "openmetrics_out", None)
     if tracer is not None and trace_out:
         path = tracer.write(trace_out)
         print(
@@ -44,6 +52,20 @@ def _write_observability(args: argparse.Namespace, tracer, metrics) -> None:
         )
     if metrics is not None and metrics_out:
         print(f"metrics written to {metrics.write(metrics_out)}")
+    if events_out:
+        from repro.observability.export import write_event_log
+
+        path = write_event_log(
+            events_out, tracer=tracer, metrics=metrics, monitor=monitor, alerts=alerts
+        )
+        print(
+            f"event log written to {path} "
+            f"-- replay with: python -m repro dashboard {path}"
+        )
+    if metrics is not None and openmetrics_out:
+        from repro.observability.export import write_openmetrics
+
+        print(f"openmetrics exposition written to {write_openmetrics(openmetrics_out, metrics)}")
 
 
 def _timeout_error(args: argparse.Namespace) -> str | None:
@@ -81,22 +103,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         or args.checkpoint_dir
     )
     if resilient:
-        try:
-            return _simulate_resilient(args, config, tracer, metrics)
-        finally:
-            _write_observability(args, tracer, metrics)
+        return _simulate_resilient(args, config, tracer, metrics)
 
     driver = AdiabaticDriver(config)
     driver.tracer = tracer
     driver.metrics = metrics
-    for diag in driver.run():
-        print(
-            f"a={diag.a:.5f}  KE={diag.kinetic_energy:.4e}  "
-            f"thermal={diag.thermal_energy:.4e}  "
-            f"max_delta={diag.max_density_contrast:.2f}"
-        )
+    monitor = None
+    if args.live or args.health:
+        from repro.observability import HealthPolicy
+
+        monitor = HealthPolicy().build(tracer=tracer, metrics=metrics)
+        driver.health = monitor
+
+    if args.live:
+        from repro.observability.dashboard import LiveDashboard
+
+        live = LiveDashboard()
+        live.state.meta = {"title": f"simulate -n {args.n}"}
+
+        def on_step(drv, diag) -> None:
+            # observe_step ran inside step(), before the index bump
+            step = drv.step_index - 1
+            snap = monitor.snapshot()
+            events = [
+                {"kind": "series", "name": name, "step": s, "value": v}
+                for name, series in snap["series"].items()
+                for s, v in zip(series["steps"], series["values"])
+                if s == step
+            ]
+            events += [
+                {"kind": "alert", **a} for a in snap["alerts"] if a["step"] == step
+            ]
+            live.update(events)
+
+        driver.run(on_step=on_step)
+        live.finish()
+    else:
+        for diag in driver.run():
+            print(
+                f"a={diag.a:.5f}  KE={diag.kinetic_energy:.4e}  "
+                f"thermal={diag.thermal_energy:.4e}  "
+                f"max_delta={diag.max_density_contrast:.2f}"
+            )
+    if monitor is not None and monitor.alerts:
+        print(monitor.summary())
     print(f"kernel launches recorded: {len(driver.trace.invocations)}")
-    _write_observability(args, tracer, metrics)
+    _write_observability(args, tracer, metrics, monitor=monitor)
     return 0
 
 
@@ -159,6 +211,11 @@ def _simulate_resilient(
             print(f"error: invalid --faults plan: {exc}")
             return 2
         print(fault_plan.describe())
+    health_policy = None
+    if args.health or args.live:
+        from repro.observability import HealthPolicy
+
+        health_policy = HealthPolicy()
     try:
         result = run_simulation(
             config,
@@ -170,6 +227,7 @@ def _simulate_resilient(
             fault_plan=fault_plan,
             retry_policy=RetryPolicy(max_retries=args.max_retries),
             degrade_policy=args.degrade_policy,
+            health=health_policy,
             echo=print,
             tracer=tracer,
             metrics=metrics,
@@ -181,6 +239,7 @@ def _simulate_resilient(
         print(f"simulation lost: {exc}")
         for rec in exc.attempts:
             print(f"  attempt {rec.attempt}: {rec.outcome} ({rec.failure})")
+        _write_observability(args, tracer, metrics)
         return 1
     for diag in result.driver.diagnostics:
         print(
@@ -189,6 +248,35 @@ def _simulate_resilient(
             f"max_delta={diag.max_density_contrast:.2f}"
         )
     print(result.summary())
+    if result.health_alerts:
+        # the monitor on SimulationResult belongs to the *final*
+        # (clean) attempt; the escalated alerts live in health_alerts
+        print(f"health: {len(result.health_alerts)} alert(s) across all attempts")
+        for alert in result.health_alerts:
+            print(f"  {alert.describe()}")
+    if args.live:
+        # the rank threads already ran: render the final dashboard
+        # frame from the recorded telemetry
+        from repro.observability.dashboard import DashboardState, render
+        from repro.observability.export import iter_events
+
+        state = DashboardState()
+        for event in iter_events(
+            tracer=tracer,
+            metrics=metrics,
+            monitor=result.health_monitor,
+            alerts=result.health_alerts,
+        ):
+            state.apply(event)
+        state.meta.setdefault("title", f"simulate --ranks {args.ranks}")
+        print(render(state))
+    _write_observability(
+        args,
+        tracer,
+        metrics,
+        monitor=result.health_monitor,
+        alerts=result.health_alerts,
+    )
     return 0 if result.ok else 1
 
 
@@ -378,10 +466,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "-- open at https://ui.perfetto.dev"
     )
     print(f"metrics written to {metrics.write(args.metrics_out)}")
+    if args.events_out:
+        from repro.observability.export import write_event_log
+
+        print(
+            "event log written to "
+            f"{write_event_log(args.events_out, tracer=tracer, metrics=metrics)}"
+        )
+    if args.openmetrics_out:
+        from repro.observability.export import write_openmetrics
+
+        print(
+            "openmetrics exposition written to "
+            f"{write_openmetrics(args.openmetrics_out, metrics)}"
+        )
     if args.flame:
         print()
         print(tracer.flame_summary(limit=30))
     return exit_code
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render a recorded JSONL event log as a dashboard frame."""
+    from pathlib import Path
+
+    from repro.observability.dashboard import load_events, render
+
+    path = Path(args.events)
+    if not path.exists():
+        print(f"error: no event log at {path}")
+        return 2
+    try:
+        state = load_events(path)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(render(state, width=args.width))
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -483,6 +604,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics-out", help="write a metrics snapshot (JSON) of the run here"
     )
+    p.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "attach the physics health monitors (conservation drift, "
+            "wall-time, cache rates); with --ranks > 1 a FATAL alert "
+            "rolls the run back like a NaN guard"
+        ),
+    )
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "live terminal dashboard (implies --health); redraws per "
+            "step on a TTY, prints the final frame on the multi-rank path"
+        ),
+    )
+    p.add_argument(
+        "--events-out",
+        help="write the telemetry JSONL event log here (repro dashboard input)",
+    )
+    p.add_argument(
+        "--openmetrics-out",
+        help="write an OpenMetrics/Prometheus text exposition of the metrics here",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("price", help="price the reference workload")
@@ -559,9 +705,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--trace-out", default="trace.json")
     p.add_argument("--metrics-out", default="metrics.json")
     p.add_argument(
+        "--events-out",
+        help="also write the telemetry JSONL event log (repro dashboard input)",
+    )
+    p.add_argument(
+        "--openmetrics-out",
+        help="also write an OpenMetrics/Prometheus text exposition",
+    )
+    p.add_argument(
         "--flame", action="store_true", help="print a flame summary of the spans"
     )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "dashboard", help="render a recorded telemetry event log (JSONL)"
+    )
+    p.add_argument("events", help="JSONL event log (simulate/trace --events-out)")
+    p.add_argument("--width", type=int, default=80, help="frame width in columns")
+    p.set_defaults(func=_cmd_dashboard)
 
     p = sub.add_parser(
         "profile", help="per-kernel profile table with cost-model annotations"

@@ -20,6 +20,7 @@ every device x variant combination of the paper's study.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -186,6 +187,13 @@ class AdiabaticDriver:
         #: interactions (see repro.observability)
         self.tracer: TraceRecorder | None = None
         self.metrics: MetricsRegistry | None = None
+        #: health monitor: when set, its ``observe_step(driver, diag,
+        #: wall_seconds)`` runs after every completed step (duck-typed;
+        #: see repro.observability.health.HealthMonitor)
+        self.health: Any | None = None
+        #: hydro subcycles taken by the most recent step (the
+        #: timestep-collapse health series)
+        self.last_subcycles = 1
 
     def restore(
         self,
@@ -383,6 +391,8 @@ class AdiabaticDriver:
         # mirror cache hit/rebuild counts into whatever registry the
         # caller attached after construction
         self.pair_cache.metrics = self.metrics
+        wall_start = time.perf_counter()
+        self.last_subcycles = 1
         with maybe_span(
             self.tracer,
             f"step {self.step_index}",
@@ -396,6 +406,12 @@ class AdiabaticDriver:
                 diag = self._step_plain(a0, a1)
         if self.metrics is not None:
             self.metrics.counter("sim.steps").inc()
+        if self.health is not None:
+            # observe *before* the index bump so alert steps match the
+            # step that produced the state
+            self.health.observe_step(
+                self, diag, wall_seconds=time.perf_counter() - wall_start
+            )
         self.step_index += 1
         return diag
 
@@ -445,6 +461,7 @@ class AdiabaticDriver:
         grav = self._gravity()
         dv_h, du_h, sig = self._hydro_rates("")
         n_sub = self.cfl_subcycles(sig, drift_total)
+        self.last_subcycles = n_sub
 
         vel = p.velocities + grav * kick_half + dv_h * (kick_half / n_sub)
         p.set_velocities(vel)

@@ -14,21 +14,31 @@ violated invariant:
   /sound speed positive and finite, EOS consistency P = (gamma-1) rho u;
 - *volumes*: the CRK volumes tile the box approximately;
 - *timer pattern*: the recorded trace has the paper's per-step
-  kernel-call structure.
+  kernel-call structure;
+- *conservation*: cumulative thermal energy stays within a hard band
+  of the exact adiabatic expectation (beyond-adiabatic *cooling* is
+  unphysical — shocks and viscosity only heat).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.hacc import eos
 from repro.hacc.particles import Species
-from repro.hacc.timestep import GRAVITY_KERNEL, TIMER_NAMES, AdiabaticDriver
 from repro.hacc.units import GAMMA_ADIABATIC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hacc.timestep import AdiabaticDriver
+
+# NB: repro.hacc.timestep is imported lazily (inside the checks that
+# need its kernel names) — timestep itself imports the observability
+# recorders, and the observability package's health module imports
+# this one for Severity, so a module-level import here would cycle.
 
 
 class Severity(enum.Enum):
@@ -90,6 +100,13 @@ class RunValidator:
     #: guards against order-of-magnitude corruption, not percent drift.
     VOLUME_BAND = (0.3, 2.0)
 
+    #: the cumulative expansion-corrected thermal residual must stay
+    #: above -CONSERVATION_BAND: losing half the thermal energy beyond
+    #: the exact adiabatic factor is corruption, not hydrodynamics.
+    #: This is the coarse hard backstop; the health monitors catch the
+    #: same leak per-step, many steps earlier (see observability.health)
+    CONSERVATION_BAND = 0.5
+
     #: every invariant, in audit order
     CHECK_NAMES = (
         "momentum",
@@ -98,6 +115,7 @@ class RunValidator:
         "thermodynamics",
         "volumes",
         "timer_pattern",
+        "conservation",
     )
 
     def __init__(self, driver: AdiabaticDriver):
@@ -193,6 +211,8 @@ class RunValidator:
             )
 
     def _check_timer_pattern(self):
+        from repro.hacc.timestep import GRAVITY_KERNEL
+
         by = self.driver.trace.by_kernel()
         steps = len(self.driver.diagnostics)
         if steps == 0:
@@ -207,6 +227,30 @@ class RunValidator:
             yield (
                 f"gravity kernel fired {len(by.get(GRAVITY_KERNEL, []))}x; "
                 f"KDK expects {2 * steps}"
+            )
+
+    def _check_conservation(self):
+        """Cumulative thermal energy vs the exact adiabatic scaling.
+
+        In the comoving variables kinetic energy is not conserved (it
+        grows with collapse), but thermal energy can only exceed the
+        pure u ~ a^-2 expansion scaling: shocks and viscosity heat.  A
+        cumulative residual below -CONSERVATION_BAND means energy is
+        *leaking* — an injected fault, a lossy restore, a unit bug.
+        """
+        diags = self.driver.diagnostics
+        if len(diags) < 2:
+            return
+        first = diags[0]
+        last = diags[-1]
+        if first.thermal_energy <= 0 or first.a <= 0 or last.a <= 0:
+            return
+        expected = first.thermal_energy * (first.a / last.a) ** 2
+        residual = last.thermal_energy / expected - 1.0
+        if residual < -self.CONSERVATION_BAND:
+            yield (
+                f"thermal energy residual {residual:+.3f} below the "
+                f"adiabatic band -{self.CONSERVATION_BAND}: energy is leaking"
             )
 
 

@@ -13,11 +13,48 @@ three cooperating pieces:
   annotated with the cost model's breakdown, rolled up into a
   per-device, per-kernel profile table.
 
+PR 7 adds the *consumption* layer on top of the recorders:
+
+- :mod:`repro.observability.health` — ring-buffered physics health
+  series with pluggable anomaly detectors whose severity-ranked
+  alerts escalate through the resilience runner;
+- :mod:`repro.observability.export` — OpenMetrics/Prometheus text
+  exposition and a structured JSONL event log;
+- :mod:`repro.observability.dashboard` — the live terminal dashboard
+  (``python -m repro dashboard events.jsonl`` / ``simulate --live``).
+
 Capture a trace from the CLI with ``python -m repro trace`` and open
 ``trace.json`` at https://ui.perfetto.dev; print the profile table
 with ``python -m repro profile <device>``.
 """
 
+from repro.observability.dashboard import (
+    DashboardState,
+    LiveDashboard,
+    load_events,
+    render,
+    sparkline,
+)
+from repro.observability.export import (
+    iter_events,
+    parse_openmetrics,
+    read_events,
+    to_openmetrics,
+    write_event_log,
+    write_openmetrics,
+)
+from repro.observability.health import (
+    Alert,
+    Detector,
+    EWMADriftDetector,
+    HealthEscalation,
+    HealthMonitor,
+    HealthPolicy,
+    SeriesBuffer,
+    ThresholdDetector,
+    ZScoreSpikeDetector,
+    default_monitor,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -35,6 +72,7 @@ from repro.observability.profiler import (
 )
 from repro.observability.tracing import (
     DEFAULT_TRACK,
+    CounterEvent,
     InstantEvent,
     SpanEvent,
     TraceRecorder,
@@ -42,20 +80,42 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "Alert",
     "Counter",
+    "CounterEvent",
     "DEFAULT_TRACK",
     "DEVICE_TRACK_BASE",
+    "DashboardState",
+    "Detector",
+    "EWMADriftDetector",
     "Gauge",
+    "HealthEscalation",
+    "HealthMonitor",
+    "HealthPolicy",
     "Histogram",
     "INTERACTIONS_BUCKETS",
     "InstantEvent",
     "KernelProfiler",
+    "LiveDashboard",
     "METRIC_GLOSSARY",
     "MetricsRegistry",
     "ProfileRow",
+    "SeriesBuffer",
     "SpanEvent",
+    "ThresholdDetector",
     "TraceRecorder",
+    "ZScoreSpikeDetector",
+    "default_monitor",
     "format_profile_table",
+    "iter_events",
+    "load_events",
     "maybe_span",
+    "parse_openmetrics",
     "profile_trace",
+    "read_events",
+    "render",
+    "sparkline",
+    "to_openmetrics",
+    "write_event_log",
+    "write_openmetrics",
 ]

@@ -1,0 +1,317 @@
+"""Telemetry exporters: OpenMetrics exposition and JSONL event logs.
+
+Two wire formats turn the in-process observability objects into things
+other tools consume:
+
+- :func:`to_openmetrics` renders a :class:`MetricsRegistry` snapshot as
+  OpenMetrics / Prometheus text exposition, so a scrape endpoint or a
+  ``textfile`` collector can ship simulation metrics into an existing
+  monitoring stack.  :func:`parse_openmetrics` reads the format back
+  (round-trip tested; also handy for diffing two scrapes offline).
+- :func:`write_event_log` streams a structured JSONL event log — one
+  JSON object per line, each tagged with a ``kind`` — from any
+  combination of tracer, metrics registry, health monitor, and kernel
+  profiler.  This is the dashboard's feed: ``repro dashboard`` replays
+  the file, and a tail of the same file is what a service UI would
+  subscribe to.
+
+Metric names mangle for Prometheus (dots and dashes become
+underscores); the original name is preserved in the JSONL records.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.observability.metrics import METRIC_GLOSSARY, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.health import HealthMonitor
+    from repro.observability.profiler import KernelProfiler
+    from repro.observability.tracing import TraceRecorder
+
+#: JSONL event-log schema version (bump on incompatible change)
+EVENT_LOG_VERSION = 1
+
+_NAME_MANGLE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+
+
+def mangle_name(name: str) -> str:
+    """A metric name as Prometheus accepts it (``sim.steps`` ->
+    ``sim_steps``)."""
+    return _NAME_MANGLE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def to_openmetrics(
+    snapshot: dict[str, Any], glossary: dict[str, str] | None = None
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as OpenMetrics text.
+
+    Counters gain the mandatory ``_total`` sample suffix; histograms
+    expose cumulative ``_bucket{le="..."}`` samples plus ``_sum`` and
+    ``_count``; every metric with a glossary entry carries it as the
+    ``HELP`` line.  The exposition ends with ``# EOF`` per the
+    OpenMetrics spec.
+    """
+    glossary = METRIC_GLOSSARY if glossary is None else glossary
+    lines: list[str] = []
+
+    def _describe(name: str, kind: str) -> None:
+        mangled = mangle_name(name)
+        help_text = glossary.get(name)
+        if help_text:
+            lines.append(f"# HELP {mangled} {help_text}")
+        lines.append(f"# TYPE {mangled} {kind}")
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        _describe(name, "counter")
+        lines.append(f"{mangle_name(name)}_total {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        _describe(name, "gauge")
+        lines.append(f"{mangle_name(name)} {_format_value(value)}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        _describe(name, "histogram")
+        mangled = mangle_name(name)
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{mangled}_bucket{{le="{_format_value(edge)}"}} {cumulative}'
+            )
+        lines.append(f'{mangled}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{mangled}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{mangled}_count {hist['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, Any]:
+    """Parse OpenMetrics text back into a snapshot-shaped dict.
+
+    The inverse of :func:`to_openmetrics` up to name mangling: keys are
+    the *mangled* names.  Histograms are reconstructed with their bucket
+    edges and de-cumulated counts, so a full round trip preserves every
+    number.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    hist_raw: dict[str, dict[str, Any]] = {}
+
+    def _parse_float(text_value: str) -> float:
+        if text_value == "+Inf":
+            return float("inf")
+        if text_value == "-Inf":
+            return float("-inf")
+        return float(text_value)
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable OpenMetrics sample line: {line!r}")
+        name = match.group("name")
+        labels_text = match.group("labels")
+        value = _parse_float(match.group("value"))
+        labels: dict[str, str] = {}
+        if labels_text:
+            for item in labels_text.split(","):
+                key, _, raw = item.partition("=")
+                labels[key.strip()] = raw.strip().strip('"')
+        if name.endswith("_bucket") and types.get(name[: -len("_bucket")]) == "histogram":
+            base = name[: -len("_bucket")]
+            entry = hist_raw.setdefault(base, {"buckets": [], "sum": 0.0, "count": 0})
+            entry["buckets"].append((_parse_float(labels.get("le", "+Inf")), value))
+        elif name.endswith("_sum") and types.get(name[: -len("_sum")]) == "histogram":
+            hist_raw.setdefault(
+                name[: -len("_sum")], {"buckets": [], "sum": 0.0, "count": 0}
+            )["sum"] = value
+        elif name.endswith("_count") and types.get(name[: -len("_count")]) == "histogram":
+            hist_raw.setdefault(
+                name[: -len("_count")], {"buckets": [], "sum": 0.0, "count": 0}
+            )["count"] = int(value)
+        elif name.endswith("_total") and types.get(name[: -len("_total")]) == "counter":
+            counters[name[: -len("_total")]] = value
+        elif types.get(name) == "gauge":
+            gauges[name] = value
+        elif types.get(name) == "counter":
+            # tolerated: a counter sample without the _total suffix
+            counters[name] = value
+        else:
+            gauges[name] = value
+
+    histograms: dict[str, Any] = {}
+    for name, entry in hist_raw.items():
+        finite = sorted(
+            (le, v) for le, v in entry["buckets"] if le != float("inf")
+        )
+        edges = [le for le, _ in finite]
+        cumulative = [v for _, v in finite]
+        counts = [
+            int(c - (cumulative[i - 1] if i else 0)) for i, c in enumerate(cumulative)
+        ]
+        counts.append(int(entry["count"] - (cumulative[-1] if cumulative else 0)))
+        histograms[name] = {
+            "edges": edges,
+            "counts": counts,
+            "count": entry["count"],
+            "sum": entry["sum"],
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def write_openmetrics(
+    path: str | Path,
+    metrics: MetricsRegistry | dict[str, Any],
+    glossary: dict[str, str] | None = None,
+) -> Path:
+    """Write a registry (or a snapshot) as an OpenMetrics text file."""
+    snapshot = (
+        metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_openmetrics(snapshot, glossary))
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+
+
+def iter_events(
+    *,
+    tracer: "TraceRecorder | None" = None,
+    metrics: MetricsRegistry | None = None,
+    monitor: "HealthMonitor | None" = None,
+    profiler: "KernelProfiler | None" = None,
+    alerts: Iterable[Any] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield the JSONL event-log records for the given sources.
+
+    Record kinds: ``header`` (always first), ``series`` (one point of a
+    health series), ``alert``, ``instant`` (trace instants, e.g.
+    resilience events), ``counter`` (trace counter samples), ``span``
+    (trace spans, step/kernel timing), ``profile`` (one kernel profile
+    row), and ``metrics`` (the full registry snapshot, always last when
+    a registry is given).
+
+    ``alerts`` overrides the monitor's own alert log — a recovered run
+    hands the alerts accumulated across *all* attempts while the
+    monitor only holds the final (clean) attempt's series.
+    """
+    header: dict[str, Any] = {"kind": "header", "version": EVENT_LOG_VERSION}
+    if meta:
+        header["meta"] = dict(meta)
+    yield header
+    if monitor is not None:
+        snap = monitor.snapshot()
+        for name, series in snap["series"].items():
+            for step, value in zip(series["steps"], series["values"]):
+                yield {"kind": "series", "name": name, "step": step, "value": value}
+        if alerts is None:
+            alerts = snap["alerts"]
+    for alert in alerts or ():
+        record = alert.as_dict() if hasattr(alert, "as_dict") else dict(alert)
+        yield {"kind": "alert", **record}
+    if tracer is not None:
+        for span in tracer.spans:
+            yield {
+                "kind": "span",
+                "name": span.name,
+                "category": span.category,
+                "start": span.start,
+                "duration": span.duration,
+                "pid": span.pid,
+                "args": dict(span.args),
+            }
+        for inst in tracer.instants:
+            yield {
+                "kind": "instant",
+                "name": inst.name,
+                "category": inst.category,
+                "ts": inst.ts,
+                "pid": inst.pid,
+                "args": dict(inst.args),
+            }
+        for counter in tracer.counters:
+            yield {
+                "kind": "counter",
+                "name": counter.name,
+                "ts": counter.ts,
+                "pid": counter.pid,
+                "value": counter.value,
+            }
+    if profiler is not None:
+        for row in profiler.rows():
+            yield {"kind": "profile", **row.as_dict()}
+    if metrics is not None:
+        yield {"kind": "metrics", "snapshot": metrics.snapshot()}
+
+
+def write_event_log(
+    path: str | Path,
+    *,
+    tracer: "TraceRecorder | None" = None,
+    metrics: MetricsRegistry | None = None,
+    monitor: "HealthMonitor | None" = None,
+    profiler: "KernelProfiler | None" = None,
+    alerts: Iterable[Any] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write the JSONL event log; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in iter_events(
+            tracer=tracer,
+            metrics=metrics,
+            monitor=monitor,
+            profiler=profiler,
+            alerts=alerts,
+            meta=meta,
+        ):
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Read a JSONL event log back as a list of records."""
+    events: list[dict[str, Any]] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid JSONL event: {exc}") from exc
+        if not isinstance(event, dict) or "kind" not in event:
+            raise ValueError(f"{path}:{lineno}: event record needs a 'kind' field")
+        events.append(event)
+    return events

@@ -1,0 +1,665 @@
+"""Physics health monitors: time series, anomaly detectors, alerts.
+
+PR 2 built the *recording* substrate (spans, counters, kernel
+profiles); this module is the layer that **consumes** it in flight.
+The paper's tuning methodology is continuous measurement — a
+regression or a sick run only shows up when someone is watching the
+series, not inspecting a snapshot once — so the monitor watches the
+simulation the way an operator would:
+
+- :class:`SeriesBuffer` — a ring-buffered per-step time series
+  (conservation drift, step wall-time, cache hit rate, ...);
+- detectors — pluggable anomaly tests over a series:
+  :class:`ThresholdDetector` (absolute bands),
+  :class:`EWMADriftDetector` (sustained drift of the value away from
+  its exponentially weighted history — the slow-energy-leak catcher),
+  and :class:`ZScoreSpikeDetector` (a single-step outlier against the
+  rolling window);
+- :class:`Alert` — one detector firing, ranked by the same
+  :class:`~repro.hacc.validation.Severity` the resilience step gate
+  uses, so a physics anomaly escalates through the *existing*
+  rollback machinery exactly like a NaN guard: a ``FATAL`` alert
+  raises :class:`HealthEscalation` and the fault-tolerant runner
+  retries from checkpoint;
+- :class:`HealthMonitor` — owns the buffers and detectors, mirrors
+  every observation into gauges (:class:`MetricsRegistry`), Perfetto
+  counter tracks (:class:`TraceRecorder`), and alert instants, and
+  derives the standard physics series from a driver's step
+  diagnostics (:meth:`HealthMonitor.observe_step`).
+
+The physics grounding of the conservation series: in the comoving
+(canonical-momentum) variables the total energy is *not* a constant —
+kinetic energy grows during collapse and thermal energy is cooled by
+expansion as :math:`u \\propto a^{-2}`.  What *is* invariant is the
+sign of the unexplained part: beyond the exact adiabatic factor the
+hydro can only heat (shocks, viscosity), never cool.  The
+``energy_drift`` series is therefore the per-step thermal residual
+
+    q_t = E_th(t) / (E_th(t-1) * (a_{t-1}/a_t)^2) - 1
+
+which a healthy run keeps ≥ 0 (small positive, growing with
+structure); a leak — an injected fault, a lossy restart, a unit bug —
+shows up as a sustained negative drift the EWMA detector catches
+steps before the hard band of the
+:class:`~repro.hacc.validation.RunValidator` ``conservation`` check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from math import sqrt
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.hacc.validation import Severity
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hacc.timestep import AdiabaticDriver, StepDiagnostics
+
+#: the standard physics-health series (all literal so the metric
+#: glossary lint can see them; each has a METRIC_GLOSSARY entry)
+KINETIC_ENERGY = "sim.health.kinetic_energy"
+THERMAL_ENERGY = "sim.health.thermal_energy"
+TOTAL_ENERGY = "sim.health.total_energy"
+ENERGY_DRIFT = "sim.health.energy_drift"
+MOMENTUM_DRIFT = "sim.health.momentum_drift"
+MASS_DRIFT = "sim.health.mass_drift"
+STEP_SECONDS = "sim.health.step_seconds"
+SUBCYCLES = "sim.health.subcycles"
+GUARD_HIT_RATE = "sim.health.guard_hit_rate"
+CACHE_HIT_RATE = "sim.health.cache_hit_rate"
+
+#: every series :meth:`HealthMonitor.observe_step` produces
+HEALTH_SERIES = (
+    KINETIC_ENERGY,
+    THERMAL_ENERGY,
+    TOTAL_ENERGY,
+    ENERGY_DRIFT,
+    MOMENTUM_DRIFT,
+    MASS_DRIFT,
+    STEP_SECONDS,
+    SUBCYCLES,
+    GUARD_HIT_RATE,
+    CACHE_HIT_RATE,
+)
+
+
+class HealthEscalation(RuntimeError):
+    """A FATAL health alert, raised into the runner's rollback path.
+
+    The resilience runner treats this exactly like a
+    :class:`~repro.resilience.guards.GuardError`: the attempt fails
+    and the recovery ladder (retry-from-checkpoint / shrink) decides
+    what happens next.
+    """
+
+    def __init__(self, alerts: Iterable["Alert"]):
+        self.alerts = tuple(alerts)
+        details = "; ".join(a.describe() for a in self.alerts)
+        super().__init__(f"health monitor escalation: {details}")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector firing on one series observation."""
+
+    series: str
+    step: int
+    value: float
+    severity: Severity
+    detector: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"[{self.severity.value.upper()}] {self.series} at step "
+            f"{self.step}: {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "series": self.series,
+            "step": self.step,
+            "value": self.value,
+            "severity": self.severity.value,
+            "detector": self.detector,
+            "message": self.message,
+        }
+
+
+class SeriesBuffer:
+    """Ring-buffered ``(step, value)`` time series.
+
+    Appends are O(1); once ``capacity`` points are held the oldest
+    falls off — a week-long service run keeps a bounded window, which
+    is all the detectors and the dashboard sparklines need.
+    """
+
+    def __init__(self, name: str, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("series capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._points: deque[tuple[int, float]] = deque(maxlen=capacity)
+
+    def append(self, step: int, value: float) -> None:
+        self._points.append((int(step), float(value)))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __bool__(self) -> bool:
+        return bool(self._points)
+
+    @property
+    def points(self) -> list[tuple[int, float]]:
+        return list(self._points)
+
+    @property
+    def steps(self) -> list[int]:
+        return [s for s, _ in self._points]
+
+    @property
+    def values(self) -> list[float]:
+        return [v for _, v in self._points]
+
+    def last(self) -> tuple[int, float]:
+        if not self._points:
+            raise IndexError(f"series {self.name!r} is empty")
+        return self._points[-1]
+
+    def window(self, n: int) -> list[float]:
+        """The most recent ``n`` values (fewer if short)."""
+        if n <= 0:
+            return []
+        return [v for _, v in list(self._points)[-n:]]
+
+
+# ----------------------------------------------------------------------
+# Detectors.  Each is stateful (attached to exactly one series) and is
+# fed every observation in step order; returning a message raises an
+# alert at the severity it was attached with.
+
+
+class Detector:
+    """Base class: one anomaly test over one series."""
+
+    name = "detector"
+
+    def update(self, step: int, value: float) -> str | None:
+        """Feed one observation; a non-None message is an alert."""
+        raise NotImplementedError
+
+
+class ThresholdDetector(Detector):
+    """Absolute band check: alert when the value leaves [low, high]."""
+
+    name = "threshold"
+
+    def __init__(self, low: float | None = None, high: float | None = None):
+        if low is None and high is None:
+            raise ValueError("threshold detector needs a low and/or high bound")
+        self.low = low
+        self.high = high
+
+    def update(self, step: int, value: float) -> str | None:
+        if value != value:  # NaN never compares; always out of band
+            return "value is NaN"
+        if self.low is not None and value < self.low:
+            return f"value {value:.6g} below the floor {self.low:.6g}"
+        if self.high is not None and value > self.high:
+            return f"value {value:.6g} above the ceiling {self.high:.6g}"
+        return None
+
+
+class EWMADriftDetector(Detector):
+    """Sustained drift away from the exponentially weighted history.
+
+    Tracks an EWMA ``m`` of the series; each new value's residual
+    ``value - m`` is compared against ``tolerance``.  A slow leak —
+    every step shifted the same direction — keeps producing residuals
+    of one sign that the smoothed history never absorbs, so the
+    detector fires within a few steps while the absolute value is
+    still far inside any hard band.  ``direction`` restricts which
+    sign of residual alarms (an energy leak is ``"down"``: heating
+    beyond the mean is physical, unexplained cooling is not).
+    ``warmup`` observations seed the EWMA before the test arms.
+    """
+
+    name = "ewma-drift"
+
+    def __init__(
+        self,
+        tolerance: float,
+        alpha: float = 0.5,
+        warmup: int = 2,
+        direction: str = "both",
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if direction not in ("both", "up", "down"):
+            raise ValueError("direction must be 'both', 'up', or 'down'")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.tolerance = tolerance
+        self.alpha = alpha
+        self.warmup = warmup
+        self.direction = direction
+        self._mean: float | None = None
+        self._seen = 0
+
+    def update(self, step: int, value: float) -> str | None:
+        if value != value:
+            return "value is NaN"
+        self._seen += 1
+        if self._mean is None:
+            self._mean = value
+            return None
+        residual = value - self._mean
+        message: str | None = None
+        if self._seen > self.warmup:
+            drifted = (
+                residual < -self.tolerance
+                if self.direction == "down"
+                else residual > self.tolerance
+                if self.direction == "up"
+                else abs(residual) > self.tolerance
+            )
+            if drifted:
+                message = (
+                    f"value {value:.6g} drifted {residual:+.6g} from the "
+                    f"EWMA {self._mean:.6g} (tolerance {self.tolerance:.6g})"
+                )
+        # the drifted value still updates the mean: a *step change* is
+        # absorbed after a few alerts, a continuing leak keeps firing
+        self._mean = self.alpha * value + (1.0 - self.alpha) * self._mean
+        return message
+
+
+class ZScoreSpikeDetector(Detector):
+    """Single-step outlier against the rolling window.
+
+    Alerts when the new value sits more than ``z_threshold`` standard
+    deviations from the mean of the last ``window`` values.  A
+    ``min_std`` floor keeps a near-constant series (std → 0) from
+    alarming on round-off wiggles.
+    """
+
+    name = "zscore-spike"
+
+    def __init__(
+        self,
+        z_threshold: float = 6.0,
+        window: int = 16,
+        min_points: int = 4,
+        min_std: float = 1e-12,
+    ):
+        if z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if min_points < 2:
+            raise ValueError("min_points must be >= 2")
+        self.z_threshold = z_threshold
+        self.window = window
+        self.min_points = min_points
+        self.min_std = min_std
+        self._values: deque[float] = deque(maxlen=window)
+
+    def update(self, step: int, value: float) -> str | None:
+        message: str | None = None
+        if value != value:
+            return "value is NaN"
+        if len(self._values) >= self.min_points:
+            n = len(self._values)
+            mean = sum(self._values) / n
+            var = sum((v - mean) ** 2 for v in self._values) / n
+            std = max(sqrt(var), self.min_std)
+            z = (value - mean) / std
+            if abs(z) > self.z_threshold:
+                message = (
+                    f"value {value:.6g} spikes z={z:+.1f} against the "
+                    f"rolling mean {mean:.6g} (threshold {self.z_threshold})"
+                )
+        self._values.append(value)
+        return message
+
+
+@dataclass
+class _Attachment:
+    detector: Detector
+    severity: Severity
+
+
+class HealthMonitor:
+    """Named series + attached detectors + alert log.
+
+    Feed it directly with :meth:`observe`, or set it as a driver's
+    ``health`` attribute and :meth:`observe_step` derives the standard
+    physics series after every step.  Observations mirror into the
+    attached sinks: gauges in ``metrics``, Perfetto counter tracks in
+    ``tracer`` (so health series render alongside kernel spans), and
+    ``alert`` instants for every detector firing.
+
+    The monitor never raises on its own; the resilience runner calls
+    :meth:`escalate` at its step boundary, which raises
+    :class:`HealthEscalation` for FATAL alerts not yet escalated —
+    the same seam the NaN guards use.
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        capacity: int = 512,
+        on_alert: Callable[[Alert], None] | None = None,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.capacity = capacity
+        self.on_alert = on_alert
+        self._series: dict[str, SeriesBuffer] = {}
+        self._attachments: dict[str, list[_Attachment]] = {}
+        self._alerts: list[Alert] = []
+        self._escalated = 0
+        # per-step deltas of shared counters (guard / cache rates)
+        self._counter_marks: dict[str, float] = {}
+        self._mass_reference: float | None = None
+
+    # -- series & detectors --------------------------------------------
+    def series(self, name: str) -> SeriesBuffer:
+        buf = self._series.get(name)
+        if buf is None:
+            buf = self._series[name] = SeriesBuffer(name, self.capacity)
+        return buf
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def attach(
+        self,
+        series: str,
+        detector: Detector,
+        severity: Severity = Severity.WARN,
+    ) -> Detector:
+        """Attach a detector to a series; returns the detector."""
+        self._attachments.setdefault(series, []).append(
+            _Attachment(detector=detector, severity=severity)
+        )
+        return detector
+
+    # -- alerts --------------------------------------------------------
+    @property
+    def alerts(self) -> list[Alert]:
+        return list(self._alerts)
+
+    def alerts_for(self, series: str) -> list[Alert]:
+        return [a for a in self._alerts if a.series == series]
+
+    @property
+    def fatal_alerts(self) -> list[Alert]:
+        return [a for a in self._alerts if a.severity is Severity.FATAL]
+
+    def escalate(self) -> None:
+        """Raise :class:`HealthEscalation` on new FATAL alerts.
+
+        Alerts already raised once are not raised again, so the
+        recovery path can keep the monitor across a rollback without
+        immediately re-dying on the historical alert.
+        """
+        fatal = self.fatal_alerts
+        fresh = fatal[self._escalated :]
+        if fresh:
+            self._escalated = len(fatal)
+            raise HealthEscalation(fresh)
+
+    # -- observation ---------------------------------------------------
+    def observe(self, name: str, step: int, value: float) -> list[Alert]:
+        """Record one sample; run the series' detectors; emit sinks."""
+        value = float(value)
+        self.series(name).append(step, value)
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
+        if self.tracer is not None:
+            self.tracer.counter(name, value, category="health")
+        new: list[Alert] = []
+        for attachment in self._attachments.get(name, ()):
+            message = attachment.detector.update(step, value)
+            if message is None:
+                continue
+            alert = Alert(
+                series=name,
+                step=step,
+                value=value,
+                severity=attachment.severity,
+                detector=attachment.detector.name,
+                message=message,
+            )
+            new.append(alert)
+            self._alerts.append(alert)
+            if self.metrics is not None:
+                self.metrics.counter("sim.health.alerts").inc()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "alert",
+                    category="health",
+                    series=alert.series,
+                    step=alert.step,
+                    value=alert.value,
+                    severity=alert.severity.value,
+                    detector=alert.detector,
+                    message=alert.message,
+                )
+            if self.on_alert is not None:
+                self.on_alert(alert)
+        return new
+
+    def _counter_delta(self, name: str) -> float:
+        """Per-call delta of a shared registry counter (0 if absent)."""
+        if self.metrics is None:
+            return 0.0
+        current = self.metrics.counter(name).value
+        delta = current - self._counter_marks.get(name, 0.0)
+        self._counter_marks[name] = current
+        return max(0.0, delta)
+
+    def observe_step(
+        self,
+        driver: "AdiabaticDriver",
+        diag: "StepDiagnostics",
+        wall_seconds: float | None = None,
+    ) -> list[Alert]:
+        """Derive the standard physics series from one completed step.
+
+        Called by the driver at the end of :meth:`AdiabaticDriver.step`
+        (the driver passes its own wall-clock measurement).  The
+        conservation series are exact functions of the replicated
+        physics state, so replicated ranks observing their own monitors
+        stay bit-for-bit agreed — which is what lets every rank raise
+        the same escalation at the same step.
+        """
+        import numpy as np
+
+        step = driver.step_index
+        p = driver.particles
+        alerts: list[Alert] = []
+
+        thermal_series = self.series(THERMAL_ENERGY)
+        previous: tuple[int, float, float] | None = None
+        if thermal_series:
+            prev_step, prev_thermal = thermal_series.last()
+            a_series = self.series("_scale_factor")
+            if a_series:
+                previous = (prev_step, prev_thermal, a_series.last()[1])
+        self.series("_scale_factor").append(step, diag.a)
+
+        alerts += self.observe(KINETIC_ENERGY, step, diag.kinetic_energy)
+        alerts += self.observe(THERMAL_ENERGY, step, diag.thermal_energy)
+        alerts += self.observe(
+            TOTAL_ENERGY, step, diag.kinetic_energy + diag.thermal_energy
+        )
+
+        # expansion-corrected thermal residual: beyond the exact
+        # (a_prev/a)^2 adiabatic factor the hydro can only heat, so a
+        # sustained negative drift is a leak (see module docstring)
+        if previous is not None and previous[1] > 0 and diag.a > 0:
+            _, prev_thermal, prev_a = previous
+            expected = prev_thermal * (prev_a / diag.a) ** 2
+            if expected > 0:
+                drift = diag.thermal_energy / expected - 1.0
+                alerts += self.observe(ENERGY_DRIFT, step, drift)
+
+        mom = np.abs(np.asarray(diag.total_momentum)).max()
+        scale = float(np.abs(p.mass[:, None] * p.velocities).sum())
+        alerts += self.observe(
+            MOMENTUM_DRIFT, step, float(mom) / scale if scale > 0 else 0.0
+        )
+
+        total_mass = float(p.mass.sum())
+        if self._mass_reference is None:
+            self._mass_reference = total_mass
+        mass_drift = (
+            abs(total_mass - self._mass_reference) / self._mass_reference
+            if self._mass_reference > 0
+            else 0.0
+        )
+        alerts += self.observe(MASS_DRIFT, step, mass_drift)
+
+        if wall_seconds is not None:
+            alerts += self.observe(STEP_SECONDS, step, wall_seconds)
+        alerts += self.observe(SUBCYCLES, step, getattr(driver, "last_subcycles", 1))
+
+        if self.metrics is not None:
+            screens = self._counter_delta("sim.resilience.guard_screens")
+            violations = self._counter_delta("sim.resilience.guard_violations")
+            if screens > 0:
+                alerts += self.observe(GUARD_HIT_RATE, step, violations / screens)
+            hits = self._counter_delta("sim.pairs.cell_list.hits")
+            builds = self._counter_delta("sim.pairs.cell_list.builds")
+            if hits + builds > 0:
+                alerts += self.observe(CACHE_HIT_RATE, step, hits / (hits + builds))
+        return alerts
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-JSON view of every series and alert (dashboard feed)."""
+        return {
+            "series": {
+                name: {"steps": buf.steps, "values": buf.values}
+                for name, buf in sorted(self._series.items())
+                if not name.startswith("_")
+            },
+            "alerts": [a.as_dict() for a in self._alerts],
+        }
+
+    def summary(self) -> str:
+        fatal = len(self.fatal_alerts)
+        lines = [
+            f"health: {len(self._alerts)} alert(s) ({fatal} fatal) over "
+            f"{len([n for n in self._series if not n.startswith('_')])} series"
+        ]
+        lines.extend(f"  {a.describe()}" for a in self._alerts)
+        return "\n".join(lines)
+
+
+@dataclass
+class HealthPolicy:
+    """Configuration for the standard physics health monitors.
+
+    :meth:`build` wires a :class:`HealthMonitor` with the default
+    detector set.  Every FATAL detector watches a *deterministic*
+    function of the replicated physics state, so all ranks of a
+    lockstep world escalate identically; the metrics-derived series
+    (guard/cache rates) and wall-time only ever WARN.
+    """
+
+    #: EWMA tolerance on the expansion-corrected thermal residual; a
+    #: leak of more than this fraction per step escalates
+    energy_tolerance: float = 0.03
+    #: EWMA smoothing for the energy-drift detector
+    energy_alpha: float = 0.5
+    #: observations before the EWMA detector arms
+    energy_warmup: int = 2
+    #: hard floor on the per-step residual (beyond-adiabatic cooling
+    #: this large in one step is an instant escalation)
+    energy_floor: float = 0.5
+    #: relative momentum-drift ceiling (WARN; the validator's own
+    #: tolerance is the FATAL backstop)
+    momentum_tolerance: float = 1e-6
+    #: relative total-mass drift ceiling (FATAL: masses never change)
+    mass_tolerance: float = 1e-9
+    #: NaN-guard hit rate above zero warns (the guard itself raises)
+    guard_rate_tolerance: float = 0.0
+    #: z-score threshold for the step wall-time spike watch (WARN);
+    #: None disables the wall-time detector entirely
+    step_spike_z: float | None = None
+    #: what a FATAL energy alert does: Severity.FATAL escalates into
+    #: the runner's rollback, WARN only records
+    escalation: Severity = Severity.FATAL
+    #: ring-buffer capacity per series
+    capacity: int = 512
+
+    def build(
+        self,
+        *,
+        tracer: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        on_alert: Callable[[Alert], None] | None = None,
+    ) -> HealthMonitor:
+        monitor = HealthMonitor(
+            tracer=tracer,
+            metrics=metrics,
+            capacity=self.capacity,
+            on_alert=on_alert,
+        )
+        monitor.attach(
+            ENERGY_DRIFT,
+            EWMADriftDetector(
+                tolerance=self.energy_tolerance,
+                alpha=self.energy_alpha,
+                warmup=self.energy_warmup,
+                direction="down",
+            ),
+            severity=self.escalation,
+        )
+        monitor.attach(
+            ENERGY_DRIFT,
+            ThresholdDetector(low=-self.energy_floor),
+            severity=self.escalation,
+        )
+        monitor.attach(
+            MOMENTUM_DRIFT,
+            ThresholdDetector(high=self.momentum_tolerance),
+            severity=Severity.WARN,
+        )
+        monitor.attach(
+            MASS_DRIFT,
+            ThresholdDetector(high=self.mass_tolerance),
+            severity=self.escalation,
+        )
+        monitor.attach(
+            GUARD_HIT_RATE,
+            ThresholdDetector(high=self.guard_rate_tolerance),
+            severity=Severity.WARN,
+        )
+        if self.step_spike_z is not None:
+            monitor.attach(
+                STEP_SECONDS,
+                ZScoreSpikeDetector(z_threshold=self.step_spike_z, min_points=5),
+                severity=Severity.WARN,
+            )
+        return monitor
+
+
+def default_monitor(
+    *,
+    tracer: TraceRecorder | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> HealthMonitor:
+    """A monitor with the default :class:`HealthPolicy` detector set."""
+    return HealthPolicy().build(tracer=tracer, metrics=metrics)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Iterable
@@ -44,6 +45,19 @@ METRIC_GLOSSARY: dict[str, str] = {
     "sim.resilience.buddy_restores": "dead ranks' snapshots adopted from the in-memory buddy tier (counter)",
     "sim.resilience.checkpoint_skipped": "invalid (zero-byte/torn/corrupt) checkpoint files skipped during recovery discovery (counter)",
     "sim.resilience.backoff_seconds": "wall seconds slept by the unified BackoffPolicy between retries (counter)",
+    "sim.resilience.guard_screens": "hot-kernel outputs screened by the in-flight NaN/Inf guard (counter)",
+    "sim.resilience.guard_violations": "non-finite kernel outputs caught by the in-flight guard (counter)",
+    "sim.health.kinetic_energy": "total kinetic energy after each step (gauge)",
+    "sim.health.thermal_energy": "total gas thermal energy after each step (gauge)",
+    "sim.health.total_energy": "kinetic + thermal energy after each step (gauge)",
+    "sim.health.energy_drift": "per-step thermal-energy residual beyond adiabatic expansion (gauge)",
+    "sim.health.momentum_drift": "relative total-momentum drift, the validator's conservation scale (gauge)",
+    "sim.health.mass_drift": "relative total-mass drift against the run's first step (gauge)",
+    "sim.health.step_seconds": "wall-clock seconds of the latest completed step (gauge)",
+    "sim.health.subcycles": "hydro subcycles taken by the latest step, timestep-collapse watch (gauge)",
+    "sim.health.guard_hit_rate": "NaN-guard violations per screened kernel output this step (gauge)",
+    "sim.health.cache_hit_rate": "pair-cache hits per cell-list request this step (gauge)",
+    "sim.health.alerts": "health-detector alerts raised across all monitors (counter)",
     "checkpoint.writes": "simulation checkpoints written (counter)",
     "checkpoint.bytes": "bytes of checkpoint data written (counter)",
     "checkpoint.write_failures": "checkpoint writes absorbed as failures (counter)",
@@ -232,13 +246,26 @@ class MetricsRegistry:
             "histograms": {},
         }
         prev_hists = previous.get("histograms", {})
+        zero = {"counts": None, "count": 0, "sum": 0.0}
         for name, hist in current["histograms"].items():
-            prev = prev_hists.get(
-                name, {"counts": [0] * len(hist["counts"]), "count": 0, "sum": 0.0}
-            )
+            prev = prev_hists.get(name, zero)
+            if prev is not zero and prev.get("edges") != hist["edges"]:
+                # the histogram was re-created with different bucket
+                # edges (e.g. across a restore) — a bucketwise zip
+                # would silently truncate or misalign, so the earlier
+                # snapshot is incomparable and the diff starts at zero
+                warnings.warn(
+                    f"histogram {name!r} bucket edges changed since the "
+                    f"previous snapshot ({prev.get('edges')} -> "
+                    f"{hist['edges']}); diffing against zero",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                prev = zero
+            prev_counts = prev["counts"] or [0] * len(hist["counts"])
             out["histograms"][name] = {
                 "edges": hist["edges"],
-                "counts": [c - p for c, p in zip(hist["counts"], prev["counts"])],
+                "counts": [c - p for c, p in zip(hist["counts"], prev_counts)],
                 "count": hist["count"] - prev["count"],
                 "sum": hist["sum"] - prev["sum"],
             }

@@ -79,6 +79,25 @@ class InstantEvent:
     args: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class CounterEvent:
+    """One sample of a counter track (Chrome ``ph: "C"`` event).
+
+    Counter tracks render as stacked area charts in Perfetto, so a
+    health series (conservation drift, step wall-time, cache hit rate)
+    plots *alongside* the kernel spans of the same timeline.  ``value``
+    holds the sample; multi-series samples recorded under one track
+    name pass extra series through ``values``.
+    """
+
+    name: str
+    ts: float
+    pid: int
+    tid: int
+    value: float
+    category: str = "counter"
+
+
 class _ThreadState(threading.local):
     """Per-thread track selection and open-span stack."""
 
@@ -102,6 +121,7 @@ class TraceRecorder:
         self._lock = threading.Lock()
         self._spans: list[SpanEvent] = []
         self._instants: list[InstantEvent] = []
+        self._counters: list[CounterEvent] = []
         self._track_names: dict[int, str] = {}
         self._thread_names: dict[tuple[int, int], str] = {}
         self._state = _ThreadState()
@@ -229,6 +249,35 @@ class TraceRecorder:
             self._instants.append(event)
         return event
 
+    def counter(
+        self,
+        name: str,
+        value: float,
+        *,
+        ts: float | None = None,
+        pid: int | None = None,
+        tid: int | None = None,
+        category: str = "counter",
+    ) -> CounterEvent:
+        """Record one sample on a counter track (Perfetto ``ph: "C"``).
+
+        Repeated samples under the same ``name`` form a time series the
+        trace viewer plots as an area chart next to the span tracks —
+        the health monitors use this so conservation drift renders
+        alongside the kernels that produced it.
+        """
+        event = CounterEvent(
+            name=name,
+            ts=self.now() if ts is None else float(ts),
+            pid=self._state.pid if pid is None else int(pid),
+            tid=self._thread_tid() if tid is None else int(tid),
+            value=float(value),
+            category=category,
+        )
+        with self._lock:
+            self._counters.append(event)
+        return event
+
     # -- queries -------------------------------------------------------
     @property
     def spans(self) -> list[SpanEvent]:
@@ -240,13 +289,25 @@ class TraceRecorder:
         with self._lock:
             return list(self._instants)
 
+    @property
+    def counters(self) -> list[CounterEvent]:
+        with self._lock:
+            return list(self._counters)
+
+    def counter_series(self, name: str) -> list[CounterEvent]:
+        return [c for c in self.counters if c.name == name]
+
     def spans_named(self, name: str) -> list[SpanEvent]:
         return [s for s in self.spans if s.name == name]
 
     def tracks(self) -> set[int]:
         """All pids that appear on the timeline."""
         with self._lock:
-            return {e.pid for e in self._spans} | {e.pid for e in self._instants}
+            return (
+                {e.pid for e in self._spans}
+                | {e.pid for e in self._instants}
+                | {e.pid for e in self._counters}
+            )
 
     def merge(self, other: "TraceRecorder", pid_offset: int = 0) -> None:
         """Fold another recorder's events into this timeline.
@@ -260,6 +321,7 @@ class TraceRecorder:
         with other._lock:
             spans = list(other._spans)
             instants = list(other._instants)
+            counters = list(other._counters)
             names = dict(other._track_names)
         with self._lock:
             self._spans.extend(
@@ -267,6 +329,9 @@ class TraceRecorder:
             )
             self._instants.extend(
                 dataclasses.replace(i, pid=i.pid + pid_offset) for i in instants
+            )
+            self._counters.extend(
+                dataclasses.replace(c, pid=c.pid + pid_offset) for c in counters
             )
             for pid, name in names.items():
                 self._track_names.setdefault(pid + pid_offset, name)
@@ -277,6 +342,7 @@ class TraceRecorder:
         with self._lock:
             spans = list(self._spans)
             instants = list(self._instants)
+            counters = list(self._counters)
             track_names = dict(self._track_names)
         events: list[dict[str, Any]] = []
         for pid, name in sorted(track_names.items()):
@@ -313,6 +379,18 @@ class TraceRecorder:
                     "tid": i.tid,
                     "s": "t",
                     "args": dict(i.args),
+                }
+            )
+        for c in sorted(counters, key=lambda c: (c.pid, c.name, c.ts)):
+            events.append(
+                {
+                    "name": c.name,
+                    "cat": c.category,
+                    "ph": "C",
+                    "ts": c.ts * 1e6,
+                    "pid": c.pid,
+                    "tid": c.tid,
+                    "args": {"value": c.value},
                 }
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -24,7 +24,14 @@ Four fault kinds:
 ``fail_checkpoint``
     a :class:`~repro.resilience.restart.SimulationCheckpoint` write is
     torn mid-flight — the atomic write protocol must never let the
-    torn data shadow a valid checkpoint.
+    torn data shadow a valid checkpoint;
+``leak_energy``
+    a *slow* fault: starting at the targeted step, every rank's gas
+    internal energy is bled by ``rate`` per step for ``count`` steps —
+    finite, individually plausible values the NaN screens cannot see.
+    Only the physics health monitors (the EWMA drift detector on the
+    expansion-corrected thermal residual) catch it, steps before the
+    validator's cumulative conservation band would.
 """
 
 from __future__ import annotations
@@ -36,7 +43,13 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-FAULT_KINDS = ("kill_rank", "corrupt_kernel", "stall_collective", "fail_checkpoint")
+FAULT_KINDS = (
+    "kill_rank",
+    "corrupt_kernel",
+    "stall_collective",
+    "fail_checkpoint",
+    "leak_energy",
+)
 CORRUPTION_MODES = ("nan", "inf", "bitflip")
 
 #: ``step=ANY_STEP`` / ``rank=ANY_RANK`` match any step / rank
@@ -52,6 +65,8 @@ _KIND_ALIASES = {
     "stall_collective": "stall_collective",
     "ckptfail": "fail_checkpoint",
     "fail_checkpoint": "fail_checkpoint",
+    "leak": "leak_energy",
+    "leak_energy": "leak_energy",
 }
 
 
@@ -91,6 +106,8 @@ class FaultSpec:
     count: int = 1
     duration: float = 1.0
     collective: str | None = None
+    #: per-step energy-loss fraction for ``leak_energy``
+    rate: float = 0.05
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -106,6 +123,11 @@ class FaultSpec:
                 raise ValueError("corruption count must be >= 1")
         if self.kind == "stall_collective" and self.duration <= 0:
             raise ValueError("stall duration must be positive")
+        if self.kind == "leak_energy":
+            if not 0.0 < self.rate < 1.0:
+                raise ValueError("leak rate must be in (0, 1)")
+            if self.count < 1:
+                raise ValueError("leak step count must be >= 1")
 
     def matches_step(self, step: int) -> bool:
         return self.step in (ANY_STEP, step)
@@ -121,6 +143,8 @@ class FaultSpec:
             extra = f" kernel={self.kernel} mode={self.mode} count={self.count}"
         elif self.kind == "stall_collective":
             extra = f" collective={self.collective or 'any'} duration={self.duration}s"
+        elif self.kind == "leak_energy":
+            extra = f" rate={self.rate} count={self.count}"
         return f"{self.kind}[{where}, {when}{extra}]"
 
 
@@ -159,7 +183,7 @@ class FaultPlan:
                 value = value.strip()
                 if key in ("step", "rank", "count"):
                     kwargs[key] = int(value)
-                elif key == "duration":
+                elif key in ("duration", "rate"):
                     kwargs[key] = float(value)
                 elif key in ("kernel", "mode", "collective"):
                     kwargs[key] = value
@@ -199,6 +223,9 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._armed: list[FaultSpec] = list(plan.faults)
         self._fired: list[FiredFault] = []
+        #: leak specs neutralised by :meth:`reset_transients` after
+        #: firing once (a transient does not replay across restarts)
+        self._cancelled_leaks: set[int] = set()
         #: optional audit callback, called (outside the injector lock,
         #: on the firing rank's thread) with each FiredFault — the
         #: observability layer turns these into trace events
@@ -309,6 +336,54 @@ class FaultInjector:
                 time.sleep(spec.duration)
 
         return hook
+
+    def drain_energy(self, driver, rank: int, step: int) -> bool:
+        """Leak point: bleed the gas internal energy if a leak window
+        covers ``step``.
+
+        Called by every rank at the start of every step.  A leak's
+        window is a pure function of its spec — steps ``[start, start +
+        count)`` with ``start = max(spec.step, 0)`` — so replicated
+        lockstep ranks apply the *same* multiplicative drain at the
+        same steps and the divergence checksum does not misread the
+        fault as silent per-rank corruption (leaks deliberately ignore
+        ``rank`` targeting for the same reason).  The first rank to
+        enter a window claims the spec, recording the single audit
+        :class:`FiredFault`.  Returns True when a drain was applied.
+        """
+        applied = False
+        for spec in self.plan.faults:
+            if spec.kind != "leak_energy":
+                continue
+            with self._lock:
+                if id(spec) in self._cancelled_leaks:
+                    continue
+            start = max(spec.step, 0)
+            if start <= step < start + spec.count:
+                self._claim(
+                    lambda s: s is spec, rank, step, "energy leak window opened"
+                )
+                from repro.hacc import eos
+
+                p = driver.particles
+                p.u[:] *= 1.0 - spec.rate
+                eos.update_thermodynamics(p)
+                applied = True
+        return applied
+
+    def reset_transients(self) -> None:
+        """Close fired transient fault windows (call at attempt start).
+
+        A leak is transient hardware/software misbehaviour: once it has
+        fired and the run rolls back, the restart attempt must run
+        clean rather than replay the leak forever — exactly the
+        checkpoint/restart recovery model.  Leaks that have not started
+        yet stay armed.
+        """
+        with self._lock:
+            for fired in self._fired:
+                if fired.spec.kind == "leak_energy":
+                    self._cancelled_leaks.add(id(fired.spec))
 
     def fail_checkpoint_write(self, step: int, tmp_path) -> None:
         """Checkpoint-write fault point: tears the in-flight temp file

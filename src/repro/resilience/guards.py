@@ -76,7 +76,13 @@ class RetryPolicy:
 
 
 def _default_severity() -> dict[str, Severity]:
-    return dict.fromkeys(RunValidator.CHECK_NAMES, Severity.FATAL)
+    severity = dict.fromkeys(RunValidator.CHECK_NAMES, Severity.FATAL)
+    # the cumulative conservation band is the coarse backstop behind the
+    # per-step health monitors; by default it reports rather than kills,
+    # so the EWMA detector (which fires many steps earlier) owns the
+    # escalation and a validator audit of a mid-leak run stays a WARN
+    severity["conservation"] = Severity.WARN
+    return severity
 
 
 @dataclass
@@ -104,17 +110,24 @@ class KernelGuard:
     onto a driver's ``kernel_hook``.
     """
 
-    def __init__(self, policy: GuardPolicy | None = None):
+    def __init__(self, policy: GuardPolicy | None = None, *, metrics=None):
         self.policy = policy or GuardPolicy()
         self.screened_kernels = 0
+        #: optional MetricsRegistry; feeds the guard-hit-rate health
+        #: series (sim.resilience.guard_screens / guard_violations)
+        self.metrics = metrics
 
     def screen(self, name: str, step: int, outputs: dict[str, np.ndarray]) -> None:
         if not self.policy.screen_kernels:
             return
         self.screened_kernels += 1
+        if self.metrics is not None:
+            self.metrics.counter("sim.resilience.guard_screens").inc()
         for out_name, arr in outputs.items():
             finite = np.isfinite(arr)
             if not finite.all():
+                if self.metrics is not None:
+                    self.metrics.counter("sim.resilience.guard_violations").inc()
                 raise GuardViolation(
                     name, step, out_name, int(arr.size - finite.sum())
                 )

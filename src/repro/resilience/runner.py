@@ -50,6 +50,12 @@ from repro.hacc.cosmology import Cosmology
 from repro.hacc.mpi_sim import RankFailure, SimComm, SimWorld
 from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
 from repro.hacc.validation import RunValidator, ValidationReport, Violation
+from repro.observability.health import (
+    Alert,
+    HealthEscalation,
+    HealthMonitor,
+    HealthPolicy,
+)
 from repro.resilience.degrade import DegradationEvent, DegradationPolicy
 from repro.resilience.faults import (
     CheckpointWriteFault,
@@ -101,6 +107,12 @@ class SimulationResult:
     guard_warnings: list[Violation] = field(default_factory=list)
     checkpoint_write_failures: int = 0
     final_world_size: int | None = None
+    #: health-detector alerts raised across all attempts (rank 0's
+    #: monitor; replicated ranks raise identical alerts)
+    health_alerts: list[Alert] = field(default_factory=list)
+    #: the final attempt's monitor (series + alert log), when health
+    #: monitoring was enabled
+    health_monitor: HealthMonitor | None = None
 
     def __post_init__(self):
         if self.final_world_size is None:
@@ -182,6 +194,7 @@ def run_simulation(
     guard_policy: GuardPolicy | None = None,
     retry_policy: RetryPolicy | None = None,
     degrade_policy: DegradationPolicy | str | None = None,
+    health: HealthPolicy | None = None,
     echo: Callable[[str], None] | None = None,
     tracer=None,
     metrics=None,
@@ -212,6 +225,16 @@ def run_simulation(
     timeline, and injected faults, rank deaths, shrinks, buddy
     restores, checkpoint writes, and recovery attempts become trace
     events/counters.
+
+    ``health`` (a :class:`~repro.observability.health.HealthPolicy`)
+    attaches the physics health monitors to every rank's driver: the
+    standard conservation/wall-time series are recorded per step and a
+    FATAL detector firing (e.g. the EWMA drift detector catching a
+    slow energy leak) raises
+    :class:`~repro.observability.health.HealthEscalation` at the step
+    boundary — the run rolls back and retries from checkpoint exactly
+    as it would for a NaN guard, typically many steps before the
+    validator's cumulative conservation band would hard-fail.
     """
     config = config or SimulationConfig()
     retry_policy = retry_policy or RetryPolicy()
@@ -262,8 +285,14 @@ def run_simulation(
     attempts: list[AttemptRecord] = []
     write_failures = 0
     guard_warnings: list[Violation] = []
+    health_alerts: list[Alert] = []
+    lead_monitors: dict[int, HealthMonitor] = {}
 
     for attempt in range(retry_policy.max_retries + 1):
+        if injector is not None:
+            # a fired transient (e.g. an energy leak) must not replay
+            # into the restarted attempt
+            injector.reset_transients()
         world = SimWorld(world_size, timeout=timeout, tracer=tracer, metrics=metrics)
         if injector is not None:
             world.pre_collective_hook = injector.collective_hook()
@@ -273,12 +302,32 @@ def run_simulation(
         degradation_events: list[DegradationEvent] = []
         restarted_from = start.step_index if start is not None else None
 
+        def _build_monitor(grank: int) -> HealthMonitor | None:
+            if health is None:
+                return None
+            # every rank monitors its own (replicated, deterministic)
+            # physics, so all ranks escalate at the same step; only
+            # rank 0 owns the sinks — shared counters, trace tracks,
+            # and the result's alert log must not be multiplied by the
+            # world size
+            lead = grank == 0
+            monitor = health.build(
+                tracer=tracer if lead else None,
+                metrics=metrics if lead else None,
+                on_alert=health_alerts.append if lead else None,
+            )
+            if lead:
+                lead_monitors[attempt] = monitor
+            return monitor
+
         def rank_fn(comm: SimComm) -> int:
             grank = comm.global_rank
             driver = _build_driver(config, cosmology, start)
             driver.tracer = tracer
             driver.metrics = metrics
-            guard = KernelGuard(guard_policy)
+            monitor = _build_monitor(grank)
+            driver.health = monitor
+            guard = KernelGuard(guard_policy, metrics=metrics)
             guard.install(driver, injector=injector, rank=grank)
             gate = StepGate(driver, guard_policy)
             schedule = driver.schedule()
@@ -290,10 +339,13 @@ def run_simulation(
                 try:
                     if injector is not None:
                         injector.on_step_start(grank, step)  # may raise RankKilled
+                        injector.drain_energy(driver, grank, step)
                     a0 = float(schedule[step])
                     a1 = float(schedule[step + 1])
                     diag = driver.step(a0, a1)
                     gate.check(step)
+                    if monitor is not None:
+                        monitor.escalate()  # may raise HealthEscalation
                     # heartbeat + replica agreement: every rank must
                     # both arrive (else RankFailure) and agree
                     # bit-for-bit
@@ -393,7 +445,13 @@ def run_simulation(
                     driver = restore_point.restore_driver(cosmology)
                     driver.tracer = tracer
                     driver.metrics = metrics
-                    guard = KernelGuard(guard_policy)
+                    # fresh monitor: the rollback makes the previous
+                    # series discontinuous (the drift baselines would
+                    # compare post-rollback state against pre-rollback
+                    # history)
+                    monitor = _build_monitor(grank)
+                    driver.health = monitor
+                    guard = KernelGuard(guard_policy, metrics=metrics)
                     guard.install(driver, injector=injector, rank=grank)
                     gate = StepGate(driver, guard_policy)
                     schedule = driver.schedule()
@@ -464,6 +522,8 @@ def run_simulation(
                 guard_warnings=guard_warnings,
                 checkpoint_write_failures=write_failures,
                 final_world_size=world_size - len(failed),
+                health_alerts=health_alerts,
+                health_monitor=lead_monitors.get(attempt),
             )
 
         # every rank died: classify and walk the restart/abort rungs.
@@ -474,7 +534,9 @@ def run_simulation(
             (e for e in errors if e is not None and not isinstance(e, RankFailure)),
             next(e for e in errors if e is not None),
         )
-        if not isinstance(exc, (InjectedFault, RankFailure, GuardError)):
+        if not isinstance(
+            exc, (InjectedFault, RankFailure, GuardError, HealthEscalation)
+        ):
             raise exc
         obits = world.obituaries
         record = AttemptRecord(

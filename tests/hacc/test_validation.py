@@ -20,6 +20,7 @@ class TestHealthyRun:
             "thermodynamics",
             "volumes",
             "timer_pattern",
+            "conservation",
         }
 
     def test_raise_on_failure_noop_when_ok(self, reference_driver):

@@ -65,3 +65,12 @@ class TestQuickExamplesRun:
         assert "step 1: shrink" in out
         assert "step 2: shrink" in out
         assert "matches the fault-free reference exactly" in out
+
+    @pytest.mark.timeout(120)
+    def test_health_monitoring(self, capsys):
+        load_example("health_monitoring").main()
+        out = capsys.readouterr().out
+        assert "Leak detected" in out
+        assert "ewma-drift" in out
+        assert "Rolled back to the step-3 checkpoint" in out
+        assert "leak -> EWMA alert -> rollback -> clean finish" in out

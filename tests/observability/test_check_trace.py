@@ -239,3 +239,107 @@ class TestResilienceInstantSchema:
         assert "shrink" in names
         assert "degrade" in names
         assert "buddy-restore" in names
+
+
+class TestCounterAndAlertSchema:
+    """PR 7 telemetry: Perfetto counter tracks ("C" events) and health
+    ``alert`` instants have schemas the checker enforces."""
+
+    def counter(self, **overrides):
+        doc = good_document()
+        event = {
+            "name": "sim.health.energy_drift",
+            "cat": "health",
+            "ph": "C",
+            "ts": 700.0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"value": 0.01},
+        }
+        event.update(overrides)
+        doc["traceEvents"].append(event)
+        return doc
+
+    def test_wellformed_counter_passes(self, check):
+        assert check.validate_events(self.counter()) == []
+
+    def test_counter_needs_numeric_ts(self, check):
+        problems = check.validate_events(self.counter(ts="later"))
+        assert any("numeric 'ts'" in p for p in problems)
+
+    def test_counter_rejects_negative_ts(self, check):
+        problems = check.validate_events(self.counter(ts=-3.0))
+        assert any("'ts' must be >= 0" in p for p in problems)
+
+    @pytest.mark.parametrize("args", [{}, {"value": "high"}, {"value": True}, None])
+    def test_counter_needs_numeric_value(self, check, args):
+        doc = self.counter(args=args)
+        if args is None:
+            del doc["traceEvents"][-1]["args"]
+        problems = check.validate_events(doc)
+        assert any("args.value" in p for p in problems), problems
+
+    def alert(self, args):
+        doc = good_document()
+        doc["traceEvents"].append(
+            {
+                "name": "alert",
+                "cat": "health",
+                "ph": "i",
+                "ts": 800.0,
+                "pid": 0,
+                "tid": 0,
+                "s": "t",
+                "args": args,
+            }
+        )
+        return doc
+
+    def test_wellformed_alert_passes(self, check):
+        args = {
+            "series": "sim.health.energy_drift",
+            "step": 3,
+            "severity": "fatal",
+            "detector": "ewma-drift",
+            "value": -0.12,
+        }
+        assert check.validate_events(self.alert(args)) == []
+
+    @pytest.mark.parametrize("drop", ["series", "step", "severity", "detector"])
+    def test_alert_missing_promised_arg_flagged(self, check, drop):
+        args = {
+            "series": "sim.health.energy_drift",
+            "step": 3,
+            "severity": "fatal",
+            "detector": "ewma-drift",
+        }
+        del args[drop]
+        problems = check.validate_events(self.alert(args))
+        assert any(f"args.{drop}" in p for p in problems), problems
+
+    def test_monitored_run_trace_validates(self, check, tmp_path):
+        """End-to-end: a traced run with a health monitor attached
+        writes counter tracks and (on a leak) an alert instant, and the
+        whole trace passes the schema."""
+        from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+        from repro.observability import TraceRecorder
+        from repro.observability.health import HealthPolicy
+
+        recorder = TraceRecorder()
+        driver = AdiabaticDriver(SimulationConfig(n_per_side=4, pm_mesh=8, n_steps=3))
+        driver.tracer = recorder
+        monitor = HealthPolicy().build(tracer=recorder)
+        driver.health = monitor
+        driver.run()
+        # inject a leak-shaped observation so an alert instant is cut
+        monitor.observe(
+            "sim.health.energy_drift", step=99, value=-0.9
+        )
+        assert monitor.alerts
+        path = recorder.write(tmp_path / "monitored.json")
+        assert check.validate_file(path) == []
+        document = json.loads(path.read_text())
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert "C" in phases
+        names = {e["name"] for e in document["traceEvents"] if e["ph"] == "i"}
+        assert "alert" in names

@@ -1,0 +1,108 @@
+"""Metric-glossary lint (``tools/check_metrics.py``): every emitted
+metric name is documented, every documented name is emitted, and the
+README table is current."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.observability
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+REPO_ROOT = TOOLS.parent
+
+
+def load_check_metrics():
+    name = "tool_check_metrics"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name, TOOLS / "check_metrics.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return load_check_metrics()
+
+
+class TestScan:
+    def test_finds_known_emission_sites(self, tool):
+        uses = tool.scan_metric_names()
+        assert "sim.steps" in uses
+        assert "sim.health.energy_drift" in uses
+        assert any("timestep.py" in site for site in uses["sim.steps"])
+
+    def test_glossary_module_excluded(self, tool):
+        uses = tool.scan_metric_names()
+        for sites in uses.values():
+            assert not any("observability/metrics.py" in s for s in sites)
+
+
+class TestLint:
+    def test_repo_is_clean(self, tool):
+        """The contract this PR establishes: the lint passes on the
+        committed tree."""
+        assert tool.lint() == []
+
+    def test_undocumented_metric_flagged(self, tool):
+        glossary = {
+            name: "doc" for name in tool.scan_metric_names()
+        }
+        del glossary["sim.steps"]
+        problems = tool.lint(glossary)
+        assert any("undocumented metric 'sim.steps'" in p for p in problems)
+
+    def test_stale_entry_flagged(self, tool):
+        glossary = {name: "doc" for name in tool.scan_metric_names()}
+        glossary["sim.никогда.emitted"] = "ghost"
+        problems = tool.lint(glossary)
+        assert any("stale glossary entry" in p for p in problems)
+
+    def test_main_exit_codes(self, tool, capsys):
+        assert tool.main([]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestGlossaryTable:
+    def test_table_lists_every_metric(self, tool):
+        from repro.observability.metrics import METRIC_GLOSSARY
+
+        table = tool.glossary_table()
+        for name in METRIC_GLOSSARY:
+            assert f"`{name}`" in table
+
+    def test_write_glossary_idempotent(self, tool, tmp_path):
+        target = tmp_path / "doc.md"
+        target.write_text(
+            "intro\n\n"
+            f"{tool.GLOSSARY_BEGIN}\nstale\n{tool.GLOSSARY_END}\n\noutro\n"
+        )
+        assert tool.write_glossary(target) is True
+        assert tool.write_glossary(target) is False
+        text = target.read_text()
+        assert "stale" not in text
+        assert text.startswith("intro") and text.rstrip().endswith("outro")
+        assert "| `sim.steps` |" in text
+
+    def test_missing_markers_raise(self, tool, tmp_path):
+        target = tmp_path / "doc.md"
+        target.write_text("no markers here\n")
+        with pytest.raises(ValueError, match="markers"):
+            tool.write_glossary(target)
+
+    def test_readme_table_is_current(self, tool, tmp_path):
+        """The committed README glossary table matches the code."""
+        readme = REPO_ROOT / "README.md"
+        copy = tmp_path / "README.md"
+        copy.write_text(readme.read_text())
+        assert tool.write_glossary(copy) is False, (
+            "README metric glossary is stale; run "
+            "'python tools/check_metrics.py --write-glossary README.md'"
+        )

@@ -1,0 +1,171 @@
+"""Tests for the perf observatory (``tools/perf_report.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.observability
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+REPO_ROOT = TOOLS.parent
+
+
+def load_perf_report():
+    name = "tool_perf_report"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name, TOOLS / "perf_report.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return load_perf_report()
+
+
+def trajectory(baseline, current, name="bench"):
+    return {"benchmark": name, "runs": [baseline, current]}
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name", ["pairs_per_sec", "speedup_vs_legacy", "cache_hit_rate", "throughput"]
+    )
+    def test_higher_is_better(self, tool, name):
+        assert tool.metric_direction(name) == "up"
+
+    @pytest.mark.parametrize(
+        "name", ["step_seconds_cached", "wall_time", "latency_p99", "kernel_ns"]
+    )
+    def test_lower_is_better(self, tool, name):
+        assert tool.metric_direction(name) == "down"
+
+    @pytest.mark.parametrize("name", ["n_pairs", "world_size", "checksum"])
+    def test_informational(self, tool, name):
+        assert tool.metric_direction(name) == "none"
+
+
+class TestAnalyzeTrajectory:
+    def test_rate_regression_flagged(self, tool):
+        doc = trajectory({"pairs_per_sec": 1000.0}, {"pairs_per_sec": 400.0})
+        (report,) = tool.analyze_trajectory(doc, band=2.0)
+        assert report.regressed
+        assert report.worse_factor == pytest.approx(2.5)
+
+    def test_time_regression_flagged(self, tool):
+        doc = trajectory({"step_seconds": 0.5}, {"step_seconds": 1.5})
+        (report,) = tool.analyze_trajectory(doc, band=2.0)
+        assert report.regressed and report.worse_factor == pytest.approx(3.0)
+
+    def test_improvement_and_within_band_pass(self, tool):
+        doc = trajectory(
+            {"pairs_per_sec": 1000.0, "step_seconds": 1.0},
+            {"pairs_per_sec": 1500.0, "step_seconds": 1.8},
+        )
+        reports = tool.analyze_trajectory(doc, band=2.0)
+        assert not any(r.regressed for r in reports)
+
+    def test_informational_metric_never_gates(self, tool):
+        doc = trajectory({"n_pairs": 100}, {"n_pairs": 100000})
+        (report,) = tool.analyze_trajectory(doc, band=2.0)
+        assert report.direction == "none" and not report.regressed
+
+    def test_single_run_yields_nothing(self, tool):
+        assert tool.analyze_trajectory({"benchmark": "b", "runs": [{"x": 1}]}) == []
+
+    def test_non_numeric_and_missing_metrics_skipped(self, tool):
+        doc = trajectory(
+            {"pairs_per_sec": 1.0, "label": "seed", "flag": True, "extra": 2.0},
+            {"pairs_per_sec": 1.0, "label": "now", "flag": False},
+        )
+        reports = tool.analyze_trajectory(doc)
+        assert [r.metric for r in reports] == ["pairs_per_sec"]
+
+    def test_degenerate_baseline_is_worse_inf(self, tool):
+        doc = trajectory({"step_seconds": 0.0}, {"step_seconds": 1.0})
+        (report,) = tool.analyze_trajectory(doc, band=2.0)
+        assert report.worse_factor == float("inf") and report.regressed
+
+
+class TestMain:
+    def write(self, tmp_path, doc, name="BENCH_x.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tool, tmp_path, capsys):
+        path = self.write(
+            tmp_path, trajectory({"pairs_per_sec": 1.0}, {"pairs_per_sec": 1.1})
+        )
+        assert tool.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_exit_one_on_regression(self, tool, tmp_path, capsys):
+        path = self.write(
+            tmp_path, trajectory({"pairs_per_sec": 10.0}, {"pairs_per_sec": 1.0})
+        )
+        assert tool.main([path]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_band_is_configurable(self, tool, tmp_path):
+        path = self.write(
+            tmp_path, trajectory({"step_seconds": 1.0}, {"step_seconds": 1.6})
+        )
+        assert tool.main([path]) == 0  # within the default 2x
+        assert tool.main(["--band", "1.5", path]) == 1
+
+    def test_json_output(self, tool, tmp_path, capsys):
+        path = self.write(
+            tmp_path, trajectory({"pairs_per_sec": 10.0}, {"pairs_per_sec": 1.0})
+        )
+        assert tool.main(["--json", path]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["regressions"] == 1
+        assert document["metrics"][0]["metric"] == "pairs_per_sec"
+
+    def test_malformed_file_is_an_error(self, tool, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{}")
+        assert tool.main([str(path)]) == 2
+        assert "runs" in capsys.readouterr().err
+
+    def test_profile_summary_from_event_log(self, tool, tmp_path, capsys):
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        events = tmp_path / "events.jsonl"
+        events.write_text(
+            "\n".join(
+                json.dumps(e)
+                for e in [
+                    {"kind": "header", "version": 1},
+                    {
+                        "kind": "profile",
+                        "kernel": "upBarAcF",
+                        "device": "PVC",
+                        "seconds": 1.5,
+                        "calls": 10,
+                        "bound": "memory",
+                    },
+                ]
+            )
+        )
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(
+            json.dumps(trajectory({"pairs_per_sec": 1.0}, {"pairs_per_sec": 1.0}))
+        )
+        assert tool.main(["--profile", str(events), str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "hottest kernels" in out and "upBarAcF" in out
+
+    def test_committed_trajectory_gates_clean(self, tool, capsys):
+        """The repo's own BENCH_pairs.json must pass its own gate."""
+        bench = REPO_ROOT / "BENCH_pairs.json"
+        assert tool.main([str(bench)]) == 0

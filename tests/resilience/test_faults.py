@@ -183,3 +183,87 @@ class TestFaultInjector:
 
     def test_wildcard_constants_exported(self):
         assert ANY_RANK == -1 and ANY_STEP == -1
+
+
+class TestLeakFaults:
+    def test_parse_leak(self):
+        plan = FaultPlan.parse("leak:step=3,rate=0.12,count=3")
+        (spec,) = plan.faults
+        assert spec.kind == "leak_energy"
+        assert spec.step == 3 and spec.rate == 0.12 and spec.count == 3
+
+    def test_parse_leak_energy_alias(self):
+        plan = FaultPlan.parse("leak_energy:step=1")
+        assert plan.faults[0].kind == "leak_energy"
+        assert plan.faults[0].rate == 0.05  # default
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError, match="leak rate"):
+            FaultSpec(kind="leak_energy", rate=1.5)
+        with pytest.raises(ValueError, match="leak rate"):
+            FaultSpec(kind="leak_energy", rate=0.0)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError, match="step count"):
+            FaultSpec(kind="leak_energy", count=0)
+
+    def test_describe_shows_window(self):
+        spec = FaultSpec(kind="leak_energy", step=3, rate=0.12, count=3)
+        assert "rate=0.12" in spec.describe()
+        assert "count=3" in spec.describe()
+
+    def _driver(self):
+        from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+
+        return AdiabaticDriver(SimulationConfig(n_per_side=4, pm_mesh=8))
+
+    def test_drain_applies_only_inside_window(self):
+        driver = self._driver()
+        plan = plan_from_specs([FaultSpec(kind="leak_energy", step=2, rate=0.5, count=2)])
+        injector = FaultInjector(plan)
+        u_before = driver.particles.u.copy()
+        assert not injector.drain_energy(driver, rank=0, step=1)
+        np.testing.assert_array_equal(driver.particles.u, u_before)
+        assert injector.drain_energy(driver, rank=0, step=2)
+        np.testing.assert_allclose(driver.particles.u, 0.5 * u_before)
+        assert injector.drain_energy(driver, rank=0, step=3)
+        assert not injector.drain_energy(driver, rank=0, step=4)
+
+    def test_drain_is_rank_agnostic_and_deterministic(self):
+        """Replicated lockstep ranks must apply the identical drain, so
+        the leak ignores rank targeting."""
+        d0, d1 = self._driver(), self._driver()
+        plan = plan_from_specs([FaultSpec(kind="leak_energy", step=1, rank=0, rate=0.2)])
+        inj = FaultInjector(plan)
+        assert inj.drain_energy(d0, rank=0, step=1)
+        assert inj.drain_energy(d1, rank=1, step=1)
+        np.testing.assert_array_equal(d0.particles.u, d1.particles.u)
+
+    def test_drain_updates_thermodynamics(self):
+        driver = self._driver()
+        plan = plan_from_specs([FaultSpec(kind="leak_energy", step=0, rate=0.3)])
+        pressure_before = driver.particles.pressure.copy()
+        FaultInjector(plan).drain_energy(driver, rank=0, step=0)
+        assert (driver.particles.pressure <= pressure_before).all()
+        assert (driver.particles.pressure < pressure_before).any()
+
+    def test_reset_transients_cancels_fired_leak_only(self):
+        driver = self._driver()
+        fired_spec = FaultSpec(kind="leak_energy", step=0, rate=0.1)
+        armed_spec = FaultSpec(kind="leak_energy", step=5, rate=0.1)
+        injector = FaultInjector(plan_from_specs([fired_spec, armed_spec]))
+        assert injector.drain_energy(driver, rank=0, step=0)
+        injector.reset_transients()
+        # the fired leak is neutralised...
+        assert not injector.drain_energy(driver, rank=0, step=0)
+        # ...but the unfired one stays armed
+        assert injector.drain_energy(driver, rank=0, step=5)
+
+    def test_leak_fires_one_audit_record(self):
+        driver = self._driver()
+        plan = plan_from_specs([FaultSpec(kind="leak_energy", step=0, rate=0.1, count=3)])
+        injector = FaultInjector(plan)
+        for step in range(3):
+            injector.drain_energy(driver, rank=0, step=step)
+        assert len(injector.fired) == 1
+        assert "leak window opened" in injector.fired[0].detail

@@ -23,6 +23,7 @@ class TestParser:
             "roofline",
             "trace",
             "profile",
+            "dashboard",
         }
 
     def test_missing_command_errors(self):

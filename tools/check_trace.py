@@ -18,11 +18,16 @@ Checks, per file:
   scope ``s``;
 - metadata (``M``) events are well-formed ``process_name`` /
   ``thread_name`` entries;
+- counter (``C``) events — Perfetto counter tracks, emitted for the
+  health series — carry numeric non-negative ``ts`` and a numeric
+  ``args.value``;
 - ``args``, when present, is a JSON object;
 - resilience/degradation instants (``shrink``, ``buddy-restore``,
   ``degrade``, ``retry``) carry the args the degradation ladder
   promises (see :data:`RESILIENCE_INSTANT_ARGS`), so dashboards can
-  rely on them.
+  rely on them;
+- health ``alert`` instants carry the detector/series/severity args
+  the escalation path promises (see :data:`HEALTH_INSTANT_ARGS`).
 
 Exit status is 0 when every file passes and 1 otherwise; problems are
 printed one per line as ``file: event #n: message``.  The module is
@@ -37,7 +42,7 @@ import json
 import sys
 from pathlib import Path
 
-SUPPORTED_PHASES = ("X", "i", "M")
+SUPPORTED_PHASES = ("X", "i", "M", "C")
 METADATA_NAMES = ("process_name", "thread_name", "process_sort_index")
 
 #: required args keys for the degradation-ladder instant events
@@ -46,6 +51,11 @@ RESILIENCE_INSTANT_ARGS = {
     "buddy-restore": ("rank", "owner"),
     "degrade": ("action", "step"),
     "retry": ("attempt",),
+}
+
+#: required args keys for the health-monitor instant events
+HEALTH_INSTANT_ARGS = {
+    "alert": ("series", "step", "severity", "detector"),
 }
 
 
@@ -104,7 +114,9 @@ def validate_events(document) -> list[str]:
                 problems.append(f"{where}: 'ts' must be >= 0, got {ts}")
             if event.get("s") not in ("t", "p", "g"):
                 problems.append(f"{where}: 'i' event needs scope 's' in t/p/g")
-            required = RESILIENCE_INSTANT_ARGS.get(name)
+            required = RESILIENCE_INSTANT_ARGS.get(name) or HEALTH_INSTANT_ARGS.get(
+                name
+            )
             if required is not None:
                 present = args if isinstance(args, dict) else {}
                 for key in required:
@@ -112,6 +124,14 @@ def validate_events(document) -> list[str]:
                         problems.append(
                             f"{where}: {name!r} instant needs args.{key}"
                         )
+        elif ph == "C":
+            ts = event.get("ts")
+            if not _is_number(ts):
+                problems.append(f"{where}: 'C' event needs numeric 'ts'")
+            elif ts < 0:
+                problems.append(f"{where}: 'ts' must be >= 0, got {ts}")
+            if not isinstance(args, dict) or not _is_number(args.get("value")):
+                problems.append(f"{where}: 'C' event needs numeric args.value")
         else:  # "M"
             if name not in METADATA_NAMES:
                 problems.append(f"{where}: unknown metadata event {name!r}")

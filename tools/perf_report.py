@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Performance observatory: report and gate on benchmark trajectories.
+
+Usage::
+
+    python tools/perf_report.py BENCH_pairs.json [BENCH_other.json ...]
+    python tools/perf_report.py --band 1.5 --json BENCH_pairs.json
+    python tools/perf_report.py --profile events.jsonl BENCH_pairs.json
+
+Each ``BENCH_*.json`` file is a benchmark *trajectory* as written by
+the perf suite under ``benchmarks/``: a ``runs`` list whose first
+record is the committed baseline and whose last record is the current
+measurement.  For every shared numeric metric the report shows
+baseline, current, and the current/baseline ratio, and *gates*: a
+metric that moved in its bad direction by more than ``--band`` (a
+multiplicative factor, default 2.0) is a regression and the exit
+status is 1.  CI runs this after the perf benchmarks so a slow commit
+fails loudly instead of silently rewriting the trajectory.
+
+Which direction is "bad" is inferred from the metric name — rates
+(``*_per_sec``, ``*_rate``, ``*speedup*``, ``*throughput*``) must not
+fall, times (``*seconds*``, ``*_time``, ``*_ns``, ``*latency*``) must
+not rise; anything else is reported but never gated (counters like
+``n_pairs`` are workload descriptors, not performance).
+
+``--profile`` additionally ingests a JSONL event log (see
+``repro.observability.export``) and prints the hottest kernels from
+its ``profile`` records, so one CI artifact answers both "did we get
+slower" and "where does the time go".  The module is importable: the
+test suite drives :func:`analyze_trajectory` and :func:`main`
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: substrings that mark a metric where LOWER is worse (rates)
+HIGHER_IS_BETTER = ("per_sec", "_rate", "speedup", "throughput", "pairs_sec")
+#: substrings that mark a metric where HIGHER is worse (durations)
+LOWER_IS_BETTER = ("seconds", "_time", "_ns", "_ms", "latency", "duration")
+
+#: default multiplicative regression band
+DEFAULT_BAND = 2.0
+
+
+def metric_direction(name: str) -> str:
+    """``up`` (higher is better), ``down`` (lower is better), or
+    ``none`` (informational only) for a metric name."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in HIGHER_IS_BETTER):
+        return "up"
+    if any(tag in lowered for tag in LOWER_IS_BETTER):
+        return "down"
+    return "none"
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """One metric's baseline-vs-current verdict."""
+
+    benchmark: str
+    metric: str
+    direction: str
+    baseline: float
+    current: float
+    #: how many times *worse* the current value is (1.0 = unchanged,
+    #: <1.0 = improved); always NaN-safe, inf when baseline degenerate
+    worse_factor: float
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = {"up": "↑ better", "down": "↓ better", "none": "info"}[self.direction]
+        status = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.benchmark}/{self.metric} [{arrow}] "
+            f"baseline={self.baseline:.4g} current={self.current:.4g} "
+            f"worse×{self.worse_factor:.2f} {status}"
+        )
+
+
+def _worse_factor(direction: str, baseline: float, current: float) -> float:
+    """How many times worse ``current`` is than ``baseline`` in the
+    metric's bad direction (values <= 1 mean no worse)."""
+    if baseline <= 0 or current <= 0:
+        return float("inf") if baseline != current else 1.0
+    if direction == "up":  # rate fell -> worse
+        return baseline / current
+    if direction == "down":  # time rose -> worse
+        return current / baseline
+    return 1.0
+
+
+def analyze_trajectory(
+    document: dict, band: float = DEFAULT_BAND
+) -> list[MetricReport]:
+    """Compare a trajectory's last run against its first.
+
+    Only metrics present and numeric in *both* records are compared;
+    a trajectory with fewer than two runs yields no reports (nothing
+    to regress against).
+    """
+    runs = document.get("runs") or []
+    if len(runs) < 2:
+        return []
+    name = document.get("benchmark", "?")
+    baseline, current = runs[0], runs[-1]
+    reports: list[MetricReport] = []
+    for metric in sorted(set(baseline) & set(current)):
+        b, c = baseline[metric], current[metric]
+        if isinstance(b, bool) or isinstance(c, bool):
+            continue
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue
+        direction = metric_direction(metric)
+        worse = _worse_factor(direction, float(b), float(c))
+        reports.append(
+            MetricReport(
+                benchmark=name,
+                metric=metric,
+                direction=direction,
+                baseline=float(b),
+                current=float(c),
+                worse_factor=worse,
+                regressed=direction != "none" and worse > band,
+            )
+        )
+    return reports
+
+
+def load_trajectory(path: str | Path) -> dict:
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or not isinstance(document.get("runs"), list):
+        raise ValueError(f"{path}: not a benchmark trajectory (needs a 'runs' list)")
+    return document
+
+
+def profile_summary(events_path: str | Path, top: int = 8) -> list[str]:
+    """The hottest kernels from an event log's ``profile`` records."""
+    from repro.observability.export import read_events
+
+    rows = [e for e in read_events(events_path) if e.get("kind") == "profile"]
+    rows.sort(key=lambda r: -float(r.get("seconds", 0.0)))
+    lines = [f"hottest kernels ({events_path}):"]
+    if not rows:
+        lines.append("  (no profile records)")
+        return lines
+    for row in rows[:top]:
+        lines.append(
+            f"  {row.get('kernel', '?'):>10s} {row.get('device', '?'):>12.12s} "
+            f"{float(row.get('seconds', 0.0)):.4g}s "
+            f"calls={row.get('calls', 0)} bound={row.get('bound', '?')}"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_report.py", description="benchmark trajectory regression gate"
+    )
+    parser.add_argument("trajectories", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "--band",
+        type=float,
+        default=DEFAULT_BAND,
+        help="regression band: fail when a gated metric is more than "
+        "this factor worse than baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="EVENTS.jsonl",
+        help="also summarize kernel profile records from an event log",
+    )
+    args = parser.parse_args(argv)
+    if args.band <= 0:
+        parser.error("--band must be positive")
+
+    reports: list[MetricReport] = []
+    for path in args.trajectories:
+        try:
+            document = load_trajectory(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        found = analyze_trajectory(document, band=args.band)
+        if not found:
+            print(f"{path}: fewer than two runs; nothing to gate")
+        reports.extend(found)
+
+    regressions = [r for r in reports if r.regressed]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "band": args.band,
+                    "metrics": [asdict(r) for r in reports],
+                    "regressions": len(regressions),
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        for report in reports:
+            print(report.describe())
+        print(
+            f"{len(reports)} metric(s) compared, "
+            f"{len(regressions)} regression(s) beyond {args.band}x"
+        )
+    if args.profile:
+        for line in profile_summary(args.profile):
+            print(line)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    raise SystemExit(main())
