@@ -68,6 +68,33 @@ def _write_observability(
         print(f"openmetrics exposition written to {write_openmetrics(openmetrics_out, metrics)}")
 
 
+def _select_backend(args: argparse.Namespace) -> str | None:
+    """Activate ``--backend`` for subcommands that run the hot path.
+
+    An unavailable backend (missing optional dependency) degrades to
+    the reference with a warning so a run script written for a
+    torch-equipped machine still completes elsewhere; an unknown name
+    is a hard usage error.  Returns an error string, or None.
+    """
+    from repro import xp
+
+    wanted = getattr(args, "backend", None)
+    if not wanted:
+        # still resolve so the active backend (env var or default) is
+        # validated and printed once up front
+        backend = xp.get_backend()
+    else:
+        try:
+            backend = xp.set_backend(wanted)
+        except xp.UnknownBackendError as exc:
+            return f"error: {exc}"
+        except xp.BackendUnavailableError as exc:
+            print(f"warning: {exc}")
+            backend = xp.set_backend(xp.DEFAULT_BACKEND)
+    print(f"array backend: {backend.name} ({backend.summary})")
+    return None
+
+
 def _timeout_error(args: argparse.Namespace) -> str | None:
     """Shared ``--timeout`` validation for every subcommand that has
     one: the flag must be positive wherever it is accepted."""
@@ -81,6 +108,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
 
     problem = _timeout_error(args)
+    if problem:
+        print(problem)
+        return 2
+    problem = _select_backend(args)
     if problem:
         print(problem)
         return 2
@@ -390,6 +421,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if problem:
         print(problem)
         return 2
+    problem = _select_backend(args)
+    if problem:
+        print(problem)
+        return 2
     config = SimulationConfig(
         n_per_side=args.n, pm_mesh=max(8, args.n), n_steps=args.steps
     )
@@ -551,6 +586,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=8, help="particles per side (2x n^3)")
     p.add_argument("--steps", type=int, default=5)
     p.add_argument(
+        "--backend",
+        help=(
+            "array backend for the hot path (numpy | blocked | numba | "
+            "torch); overrides REPRO_BACKEND, falls back to numpy with "
+            "a warning when the optional dependency is missing"
+        ),
+    )
+    p.add_argument(
         "--ranks",
         type=int,
         default=1,
@@ -680,6 +723,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-n", type=int, default=6, help="particles per side (2x n^3)")
     p.add_argument("--steps", type=int, default=2)
+    p.add_argument(
+        "--backend",
+        help="array backend for the hot path (same semantics as simulate)",
+    )
     p.add_argument(
         "--device",
         help="replay kernels through this device's cost model on a device track",

@@ -26,6 +26,8 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import xp
+
 
 @dataclass(frozen=True)
 class NeighborList:
@@ -52,9 +54,8 @@ class NeighborList:
 
 
 def _cell_index(pos: np.ndarray, box: float, n_cells: int) -> np.ndarray:
-    cell = np.floor((pos % box) / (box / n_cells)).astype(np.int64)
-    np.clip(cell, 0, n_cells - 1, out=cell)
-    return cell
+    cell = xp.floor((pos % box) / (box / n_cells)).astype(np.int64)
+    return xp.clip(cell, 0, n_cells - 1)
 
 
 @lru_cache(maxsize=None)
@@ -132,8 +133,8 @@ class CellList:
         if n_cells >= 3 and len(pos):
             cells = _cell_index(pos, box, n_cells)
             flat = (cells[:, 0] * n_cells + cells[:, 1]) * n_cells + cells[:, 2]
-            order = np.argsort(flat, kind="stable")
-            boundaries = np.searchsorted(flat[order], np.arange(n_cells**3 + 1))
+            order = xp.argsort(flat)
+            boundaries = xp.searchsorted(flat[order], xp.arange(n_cells**3 + 1))
         return cls(
             box=box,
             cutoff=float(cutoff),
@@ -201,7 +202,7 @@ class CellList:
             return 0.0
         half = 0.5 * self.box
         d = (self.pos - self.ref_pos + half) % self.box - half
-        return float(np.sqrt(np.einsum("ij,ij->i", d, d).max()))
+        return float(np.sqrt(xp.max(xp.rowwise_dot(d, d))))
 
     def is_current(self) -> bool:
         """Verlet-skin criterion: binning still covers every true pair."""
@@ -228,16 +229,16 @@ class CellList:
         ).ravel()
         starts = self.boundaries[nflat]
         counts = self.boundaries[nflat + 1] - starts
-        total = int(counts.sum())
-        n_first = int(counts[:n_q].sum())
+        total = int(xp.sum(counts))
+        n_first = int(xp.sum(counts[:n_q]))
         if total == 0:
             return empty, empty, 0
-        rep = np.repeat(np.tile(np.arange(n_q), len(stencil)), counts)
+        rep = xp.repeat(xp.tile(xp.arange(n_q), len(stencil)), counts)
         # ragged ranges 0..counts[k] for every bucket, without a Python
         # loop: a global arange minus each element's bucket offset
-        shifts = np.cumsum(counts) - counts
-        within = np.arange(total, dtype=np.int64) - np.repeat(shifts, counts)
-        cand = self.order[np.repeat(starts, counts) + within]
+        shifts = xp.cumsum(counts) - counts
+        within = xp.arange(total, dtype=np.int64) - xp.repeat(shifts, counts)
+        cand = self.order[xp.repeat(starts, counts) + within]
         return rep, cand, n_first
 
     def pairs_within(
@@ -270,11 +271,11 @@ class CellList:
             gi, gj = rep, cand
             local_j = cand
         else:
-            local = np.full(self.n_particles, -1, dtype=np.int64)
-            local[subset] = np.arange(len(subset))
+            local = xp.full(self.n_particles, -1, dtype=np.int64)
+            local[subset] = xp.arange(len(subset))
             keep = local[cand] >= 0
             if fresh:
-                n_self = int(np.count_nonzero(keep[:n_self]))
+                n_self = int(xp.count_nonzero(keep[:n_self]))
             rep, cand = rep[keep], cand[keep]
             gi = subset[rep]
             gj = cand
@@ -282,7 +283,7 @@ class CellList:
         half = 0.5 * self.box
         d = self.pos[gi] - self.pos[gj]
         d = (d + half) % self.box - half
-        r2 = np.einsum("ij,ij->i", d, d)
+        r2 = xp.rowwise_dot(d, d)
         mask = r2 < cutoff * cutoff
         if fresh:
             # cross-cell candidates already appear once per unordered
@@ -294,8 +295,8 @@ class CellList:
         i_loc = rep[mask]
         j_loc = local_j[mask]
         return (
-            np.concatenate([i_loc, j_loc]),
-            np.concatenate([j_loc, i_loc]),
+            xp.concatenate([i_loc, j_loc]),
+            xp.concatenate([j_loc, i_loc]),
         )
 
     def cross_pairs(
@@ -320,7 +321,7 @@ class CellList:
         half = 0.5 * self.box
         d = pos_query[rep] - self.pos[cand]
         d = (d + half) % self.box - half
-        r2 = np.einsum("ij,ij->i", d, d)
+        r2 = xp.rowwise_dot(d, d)
         mask = (r2 < cutoff * cutoff) & (r2 > 0.0)
         return rep[mask], cand[mask]
 
@@ -505,13 +506,13 @@ def build_neighbor_list(
 ) -> NeighborList:
     """CSR neighbour list from :func:`find_pairs`."""
     i, j = find_pairs(pos, box, cutoff, pos_other=pos_other, cell_list=cell_list)
-    order = np.argsort(i, kind="stable")
+    order = xp.argsort(i)
     i = i[order]
     j = j[order]
     n = len(pos)
-    counts = np.bincount(i, minlength=n)
-    start = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=start[1:])
+    counts = xp.bincount(i, minlength=n)
+    start = xp.zeros(n + 1, dtype=np.int64)
+    start[1:] = xp.cumsum(counts)
     return NeighborList(start=start, indices=j)
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import xp
 from repro.hacc.mesh import cic_deposit, cic_interpolate, fourier_grid
 from repro.hacc.particles import ParticleData
 from repro.hacc.units import G_NEWTON
@@ -82,26 +83,26 @@ class PMSolver:
         with the long-range Gaussian filter applied."""
         _kx, _ky, _kz, k2 = self._k
         rs = self.split_scale
-        k2_safe = np.where(k2 == 0.0, 1.0, k2)
+        k2_safe = xp.where(k2 == 0.0, 1.0, k2)
         phi_k = -4.0 * np.pi * G_NEWTON * rho_bar * delta_k / k2_safe
-        phi_k *= np.exp(-k2 * rs**2)
-        phi_k = np.where(k2 == 0.0, 0.0, phi_k)
+        phi_k *= xp.exp(-k2 * rs**2)
+        phi_k = xp.where(k2 == 0.0, 0.0, phi_k)
         return phi_k
 
     def accelerations(self, particles: ParticleData) -> np.ndarray:
         """(n, 3) long-range comoving accelerations at particle positions."""
         n_mesh = self.config.n_mesh
         delta = self.density_contrast(particles)
-        delta_k = np.fft.rfftn(delta)
+        delta_k = xp.rfftn(delta)
         rho_bar = particles.total_mass() / self.box**3
         phi_k = self.potential_k(delta_k, rho_bar)
 
         kx, ky, kz, _k2 = self._k
-        acc = np.empty((len(particles), 3))
+        acc = xp.empty((len(particles), 3))
         pos = particles.positions
         for axis, kcomp in enumerate((kx, ky, kz)):
             # force = -grad phi -> -i k phi in k-space
-            force_mesh = np.fft.irfftn(-1j * kcomp * phi_k, s=(n_mesh,) * 3, axes=(0, 1, 2))
+            force_mesh = xp.irfftn(-1j * kcomp * phi_k, s=(n_mesh,) * 3, axes=(0, 1, 2))
             acc[:, axis] = cic_interpolate(force_mesh, pos, self.box)
         return acc
 
@@ -109,9 +110,9 @@ class PMSolver:
         """Long-range potential energy (diagnostic): 0.5 sum m phi."""
         n_mesh = self.config.n_mesh
         delta = self.density_contrast(particles)
-        delta_k = np.fft.rfftn(delta)
+        delta_k = xp.rfftn(delta)
         rho_bar = particles.total_mass() / self.box**3
         phi_k = self.potential_k(delta_k, rho_bar)
-        phi_mesh = np.fft.irfftn(phi_k, s=(n_mesh,) * 3, axes=(0, 1, 2))
+        phi_mesh = xp.irfftn(phi_k, s=(n_mesh,) * 3, axes=(0, 1, 2))
         phi = cic_interpolate(phi_mesh, particles.positions, self.box)
         return float(0.5 * np.sum(particles.mass * phi))

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
+from repro import xp
 from repro.hacc.neighbors import CellList, find_pairs
 from repro.hacc.particles import ParticleData
 from repro.hacc.units import G_NEWTON
@@ -130,13 +131,13 @@ class ShortRangeSolver:
         mass = particles.mass
         n = len(particles)
         i, j = self.pair_list(particles, cell_list=cell_list)
-        acc = np.zeros((n, 3))
+        acc = np.zeros((n, 3), dtype=np.asarray(pos).dtype)
         if len(i) == 0:
             return acc
         d = pos[i] - pos[j]
         d = particles.minimum_image(d)
-        r2 = np.einsum("ij,ij->i", d, d) + self.softening**2
-        r = np.sqrt(r2)
+        r2 = xp.rowwise_dot(d, d) + self.softening**2
+        r = xp.sqrt(r2)
         factor = self.kernel(r) if use_polynomial else exact_short_range_factor(r, self.r_s)
         # attraction of i toward j
         f = -G_NEWTON * mass[j] * factor / (r2 * r)
@@ -144,7 +145,7 @@ class ShortRangeSolver:
         # per-axis bincount scatter: one contiguous C pass per axis,
         # replacing the much slower np.add.at (same sums to round-off)
         for axis in range(3):
-            acc[:, axis] = np.bincount(i, weights=contrib[:, axis], minlength=n)
+            acc[:, axis] = xp.bincount(i, weights=contrib[:, axis], minlength=n)
         return acc
 
     def interaction_count(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import xp
 from repro.hacc.sph.corrections import CorrectionResult, corrected_kernel_gradients
 from repro.hacc.sph.pairs import PairContext
 
@@ -51,11 +52,11 @@ def pair_viscosity(
 ) -> np.ndarray:
     """Monaghan viscous pressure Pi_ij >= 0 on approaching pairs."""
     dv = velocity[ctx.i] - velocity[ctx.j]
-    vdotx = np.einsum("ij,ij->i", dv, ctx.dx)
+    vdotx = xp.rowwise_dot(dv, ctx.dx)
     h_ij = 0.5 * (h[ctx.i] + h[ctx.j])
     r2 = ctx.r**2
     mu = h_ij * vdotx / (r2 + VISC_EPS * h_ij**2)
-    mu = np.where(vdotx < 0.0, mu, 0.0)  # only approaching pairs
+    mu = xp.where(vdotx < 0.0, mu, 0.0)  # only approaching pairs
     cs_ij = 0.5 * (cs[ctx.i] + cs[ctx.j])
     rho_ij = 0.5 * (rho[ctx.i] + rho[ctx.j])
     return rho_ij * (-alpha * cs_ij * mu + beta * mu**2)
@@ -115,13 +116,13 @@ def compute_acceleration(
     # signal speed for the CFL criterion: sound crossing + viscous signal
     if ctx.n_pairs:
         dv = velocity[ctx.i] - velocity[ctx.j]
-        vdotx = np.einsum("ij,ij->i", dv, ctx.dx)
-        r_safe = np.where(ctx.r > 0, ctx.r, 1.0)
-        approach = np.where(vdotx < 0, -vdotx / r_safe, 0.0)
+        vdotx = xp.rowwise_dot(dv, ctx.dx)
+        r_safe = xp.where(ctx.r > 0, ctx.r, 1.0)
+        approach = xp.where(vdotx < 0, -vdotx / r_safe, 0.0)
         sig = cs[ctx.i] + cs[ctx.j] + 3.0 * approach
-        max_signal = float(sig.max())
+        max_signal = float(xp.max(sig))
     else:
-        max_signal = float(2.0 * cs.max()) if ctx.n else 0.0
+        max_signal = float(2.0 * xp.max(cs)) if ctx.n else 0.0
 
     return AccelerationResult(
         dv_dt=dv_dt,

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import xp
 from repro.hacc.sph.kernels_math import kernel_self_value
 from repro.hacc.sph.pairs import PairContext
 
@@ -85,12 +86,12 @@ def solve_coefficients(
     production CRK codes use near pathological geometries.
     """
     n = len(m0)
-    trace = np.trace(m2, axis1=1, axis2=2)
-    reg = M2_REGULARISATION * np.maximum(trace, 1e-300)
-    m2_reg = m2 + reg[:, None, None] * np.eye(3)[None, :, :]
-    b = np.zeros((n, 3))
+    trace = xp.trace(m2)
+    reg = M2_REGULARISATION * xp.maximum(trace, 1e-300)
+    m2_reg = m2 + reg[:, None, None] * xp.eye(3, dtype=m2.dtype)[None, :, :]
+    b = xp.zeros((n, 3), dtype=m1.dtype)
     try:
-        b = np.linalg.solve(m2_reg, m1[..., None])[..., 0]
+        b = xp.solve(m2_reg, m1[..., None])[..., 0]
     except np.linalg.LinAlgError:
         # per-particle fallback
         for k in range(n):
@@ -98,11 +99,11 @@ def solve_coefficients(
                 b[k] = np.linalg.solve(m2_reg[k], m1[k])
             except np.linalg.LinAlgError:
                 b[k] = 0.0
-    denom = m0 - np.einsum("ij,ij->i", m1, b)
-    bad = ~np.isfinite(denom) | (np.abs(denom) < 1e-12 * np.abs(m0))
-    if np.any(bad):
+    denom = m0 - xp.rowwise_dot(m1, b)
+    bad = ~xp.isfinite(denom) | (xp.abs(denom) < 1e-12 * xp.abs(m0))
+    if xp.any(bad):
         b[bad] = 0.0
-        denom = np.where(bad, m0, denom)
+        denom = xp.where(bad, m0, denom)
     a = 1.0 / denom
     return a, b
 
@@ -126,7 +127,7 @@ def compute_moment_gradients(
     gw = ctx.kernel_gradients(h)
     vj = volume[ctx.j]
     dji = -ctx.dx
-    eye = np.eye(3)
+    eye = xp.eye(3, dtype=w.dtype)
 
     dm0 = ctx.scatter_sum(vj[:, None] * gw)
     vw = vj * w
@@ -165,22 +166,22 @@ def solve_coefficient_gradients(
     From ``A (m0 - B . m1) = 1``:
         ``dA = -A^2 (dm0 - dB . m1 - B . dm1)``.
     """
-    trace = np.trace(m2, axis1=1, axis2=2)
-    reg = M2_REGULARISATION * np.maximum(trace, 1e-300)
-    m2_reg = m2 + reg[:, None, None] * np.eye(3)[None, :, :]
+    trace = xp.trace(m2)
+    reg = M2_REGULARISATION * xp.maximum(trace, 1e-300)
+    m2_reg = m2 + reg[:, None, None] * xp.eye(3, dtype=m2.dtype)[None, :, :]
 
     # rhs[p, a, g] = dm1[p, a, g] - sum_b dm2[p, a, b, g] B[p, b]
-    rhs = dm1 - np.einsum("pabg,pb->pag", dm2, b)
+    rhs = dm1 - xp.einsum("pabg,pb->pag", dm2, b)
     try:
-        grad_b = np.linalg.solve(m2_reg, rhs)
+        grad_b = xp.solve(m2_reg, rhs)
     except np.linalg.LinAlgError:
-        grad_b = np.zeros_like(rhs)
+        grad_b = xp.zeros_like(rhs)
 
     # dD[p, g] = dm0 - sum_a (grad_b[a, g] m1_a + B_a dm1[a, g])
     d_denom = (
         dm0
-        - np.einsum("pag,pa->pg", grad_b, m1)
-        - np.einsum("pa,pag->pg", b, dm1)
+        - xp.einsum("pag,pa->pg", grad_b, m1)
+        - xp.einsum("pa,pag->pg", b, dm1)
     )
     grad_a = -(a**2)[:, None] * d_denom
     return grad_a, grad_b
@@ -191,7 +192,7 @@ def compute_corrections(
 ) -> CorrectionResult:
     """The Corrections kernel: moments, coefficients, and their
     gradients."""
-    volume = np.asarray(volume, dtype=np.float64)
+    volume = xp.ensure_float(volume)
     if len(volume) != ctx.n:
         raise ValueError("volume array does not match the pair context")
     m0, m1, m2 = compute_moments(ctx, h, volume)
@@ -208,7 +209,7 @@ def corrected_kernel_values(
 ) -> np.ndarray:
     """W^R_ij = A_i (1 + B_i . (x_i - x_j)) W_ij on all pairs."""
     w = ctx.kernel_values(h)
-    lin = 1.0 + np.einsum("ij,ij->i", corr.b[ctx.i], ctx.dx)
+    lin = 1.0 + xp.rowwise_dot(corr.b[ctx.i], ctx.dx)
     return corr.a[ctx.i] * lin * w
 
 
@@ -248,13 +249,15 @@ def _gradient_for_side(
         raise ValueError(f"side must be 'i' or 'j', got {side!r}")
     from repro.hacc.sph.kernels_math import cubic_spline, cubic_spline_gradient
 
-    w = cubic_spline(ctx.r, h[idx])
-    gw = cubic_spline_gradient(d, ctx.r, h[idx])
+    h = xp.ensure_float(h)
+    h_side = h[idx] if h.ndim else h
+    w = cubic_spline(ctx.r, h_side)
+    gw = cubic_spline_gradient(d, ctx.r, h_side)
     a = corr.a[idx]
     b = corr.b[idx]
     grad_a = corr.grad_a[idx]
     grad_b = corr.grad_b[idx]
-    lin = 1.0 + np.einsum("pa,pa->p", b, d)
-    db_dot_d = np.einsum("pag,pa->pg", grad_b, d)
+    lin = 1.0 + xp.rowwise_dot(b, d)
+    db_dot_d = xp.einsum("pag,pa->pg", grad_b, d)
     coeff_term = grad_a * lin[:, None] + a[:, None] * (db_dot_d + b)
     return coeff_term * w[:, None] + (a * lin)[:, None] * gw

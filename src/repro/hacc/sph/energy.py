@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import xp
 from repro.hacc.sph.acceleration import AccelerationResult
 from repro.hacc.sph.pairs import PairContext
 
@@ -45,15 +46,15 @@ def compute_energy_rate(
     are shared state, exactly as in CRK-HACC where the two kernels read
     the same interaction lists.
     """
-    volume = np.asarray(volume, dtype=np.float64)
-    mass = np.asarray(mass, dtype=np.float64)
-    pressure = np.asarray(pressure, dtype=np.float64)
-    velocity = np.asarray(velocity, dtype=np.float64)
+    volume = xp.ensure_float(volume)
+    mass = xp.ensure_float(mass)
+    pressure = xp.ensure_float(pressure)
+    velocity = xp.ensure_float(velocity)
     if accel.delta_gw.shape != (ctx.n_pairs, 3):
         raise ValueError("acceleration result does not match the pair context")
 
     dv = velocity[ctx.i] - velocity[ctx.j]
-    work = np.einsum("ij,ij->i", dv, accel.delta_gw)
+    work = xp.rowwise_dot(dv, accel.delta_gw)
     vi = volume[ctx.i]
     vj = volume[ctx.j]
     p_eff = pressure[ctx.i] + 0.5 * accel.visc_pi

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import xp
 from repro.hacc.sph.corrections import CorrectionResult, corrected_kernel_gradients
 from repro.hacc.sph.pairs import PairContext
 
@@ -43,10 +44,10 @@ def compute_extras(
     corr: CorrectionResult,
 ) -> ExtrasResult:
     """The Extras kernel on the gas particle set."""
-    volume = np.asarray(volume, dtype=np.float64)
-    mass = np.asarray(mass, dtype=np.float64)
-    velocity = np.asarray(velocity, dtype=np.float64)
-    pressure = np.asarray(pressure, dtype=np.float64)
+    volume = xp.ensure_float(volume)
+    mass = xp.ensure_float(mass)
+    velocity = xp.ensure_float(velocity)
+    pressure = xp.ensure_float(pressure)
     for name, arr in (("volume", volume), ("mass", mass), ("pressure", pressure)):
         if len(arr) != ctx.n:
             raise ValueError(f"{name} array does not match the pair context")
@@ -55,7 +56,7 @@ def compute_extras(
 
     # CRK density: the volume already encodes the local number density,
     # so the consistent mass density is m_i / V_i.
-    if np.any(volume <= 0):
+    if xp.any(volume <= 0):
         raise FloatingPointError("non-positive volumes")
     rho = mass / volume
 
@@ -73,7 +74,7 @@ def compute_extras(
     grad_rho = gradient_of(rho)
     grad_v = gradient_of(velocity)
     grad_p = gradient_of(pressure)
-    div_v = np.trace(grad_v, axis1=1, axis2=2)
+    div_v = xp.trace(grad_v)
     return ExtrasResult(
         rho=rho, grad_rho=grad_rho, grad_v=grad_v, div_v=div_v, grad_p=grad_p
     )

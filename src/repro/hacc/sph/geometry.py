@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import xp
 from repro.hacc.sph.kernels_math import kernel_self_value
 from repro.hacc.sph.pairs import PairContext
 from repro.hacc.units import SPH_ETA
@@ -45,14 +46,14 @@ def compute_geometry(
     ``ctx`` must be built over the gas particles only (dark matter does
     not participate in hydrodynamics).
     """
-    h = np.asarray(h, dtype=np.float64)
+    h = xp.ensure_float(h)
     if len(h) != ctx.n:
         raise ValueError("h array does not match the pair context")
     number_density = ctx.scatter_sum(ctx.kernel_values(h))
     number_density += kernel_self_value(h)
-    if np.any(number_density <= 0):
+    if xp.any(number_density <= 0):
         raise FloatingPointError("non-positive number density")
     volume = 1.0 / number_density
-    h_target = eta * np.cbrt(volume)
+    h_target = eta * xp.cbrt(volume)
     h_new = h + relax * (h_target - h)
     return GeometryResult(volume=volume, number_density=number_density, h_new=h_new)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import xp
+
 #: kernel support radius in units of h
 SUPPORT = 2.0
 
@@ -29,31 +31,35 @@ GRADW_FLOPS_PER_PAIR = 18
 
 
 def cubic_spline(r: np.ndarray, h: np.ndarray) -> np.ndarray:
-    """Kernel value W(r, h); supports broadcasting of r against h."""
-    r = np.asarray(r, dtype=np.float64)
-    h = np.asarray(h, dtype=np.float64)
-    if np.any(h <= 0):
+    """Kernel value W(r, h); supports broadcasting of r against h.
+
+    Dtype-preserving: float32 inputs produce a float32 kernel value
+    (mixed-precision backends rely on this).
+    """
+    r = xp.ensure_float(r)
+    h = xp.ensure_float(h)
+    if xp.any(h <= 0):
         raise ValueError("smoothing lengths must be positive")
     q = r / h
-    w = np.where(
+    w = xp.where(
         q < 1.0,
         1.0 - 1.5 * q**2 + 0.75 * q**3,
-        np.where(q < SUPPORT, 0.25 * (2.0 - q) ** 3, 0.0),
+        xp.where(q < SUPPORT, 0.25 * (2.0 - q) ** 3, 0.0),
     )
     return _NORM_3D * w / h**3
 
 
 def cubic_spline_derivative(r: np.ndarray, h: np.ndarray) -> np.ndarray:
     """dW/dr at separation r."""
-    r = np.asarray(r, dtype=np.float64)
-    h = np.asarray(h, dtype=np.float64)
-    if np.any(h <= 0):
+    r = xp.ensure_float(r)
+    h = xp.ensure_float(h)
+    if xp.any(h <= 0):
         raise ValueError("smoothing lengths must be positive")
     q = r / h
-    dwdq = np.where(
+    dwdq = xp.where(
         q < 1.0,
         -3.0 * q + 2.25 * q**2,
-        np.where(q < SUPPORT, -0.75 * (2.0 - q) ** 2, 0.0),
+        xp.where(q < SUPPORT, -0.75 * (2.0 - q) ** 2, 0.0),
     )
     return _NORM_3D * dwdq / h**4
 
@@ -64,17 +70,17 @@ def cubic_spline_gradient(dx: np.ndarray, r: np.ndarray, h: np.ndarray) -> np.nd
     ``dx`` is the (n, 3) displacement ``x_i - x_j``; the r = 0 case is
     returned as a zero vector (the kernel is smooth at the origin).
     """
-    dx = np.asarray(dx, dtype=np.float64)
-    r = np.asarray(r, dtype=np.float64)
+    dx = xp.ensure_float(dx)
+    r = xp.ensure_float(r)
     dwdr = cubic_spline_derivative(r, h)
-    safe_r = np.where(r > 0, r, 1.0)
-    scale = np.where(r > 0, dwdr / safe_r, 0.0)
+    safe_r = xp.where(r > 0, r, 1.0)
+    scale = xp.where(r > 0, dwdr / safe_r, 0.0)
     return scale[:, None] * dx
 
 
 def kernel_self_value(h: np.ndarray) -> np.ndarray:
     """W(0, h) -- the self contribution of each particle."""
-    h = np.asarray(h, dtype=np.float64)
+    h = xp.ensure_float(h)
     return _NORM_3D / h**3
 
 

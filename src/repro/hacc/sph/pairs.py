@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import xp
 from repro.hacc.neighbors import CellList, find_pairs
 from repro.hacc.sph.kernels_math import SUPPORT, cubic_spline, cubic_spline_gradient
 
@@ -42,7 +43,21 @@ def sph_cutoff(h: np.ndarray, box: float) -> tuple[float, float]:
 
     The request is the full kernel support ``SUPPORT * max(h)``; the
     clamp is the minimum-image bound ``MINIMUM_IMAGE_FRACTION * box``.
+
+    ``box`` must be a positive scalar.  An array here almost always
+    means the ``(h, box)`` arguments were swapped, which used to
+    surface as an inscrutable ``ValueError: The truth value of an
+    array...`` out of ``min()``; it is rejected up front instead.
     """
+    if np.ndim(box) != 0:
+        raise TypeError(
+            f"box must be a scalar, got an array of shape "
+            f"{np.shape(box)}; did you swap the (h, box) arguments of "
+            "sph_cutoff?"
+        )
+    box = float(box)
+    if box <= 0:
+        raise ValueError(f"box must be positive, got {box}")
     requested = float(SUPPORT * np.max(h))
     return requested, min(requested, MINIMUM_IMAGE_FRACTION * box)
 
@@ -86,12 +101,18 @@ class PairContext:
         ``sim.pairs.cutoff_truncated`` counter is incremented on
         ``metrics`` so the truncation is observable instead of silent.
         """
-        pos = np.asarray(pos, dtype=np.float64)
-        h = np.asarray(h, dtype=np.float64)
+        pos = xp.ensure_float(pos)
+        h = xp.ensure_float(h)
         if len(pos) == 0:
             empty = np.array([], dtype=np.int64)
-            return cls(i=empty, j=empty, dx=np.zeros((0, 3)), r=np.zeros(0), n=0)
-        if np.any(h <= 0):
+            return cls(
+                i=empty,
+                j=empty,
+                dx=xp.zeros((0, 3), dtype=pos.dtype),
+                r=xp.zeros(0, dtype=pos.dtype),
+                n=0,
+            )
+        if xp.any(h <= 0):
             raise ValueError("smoothing lengths must be positive")
         requested, cutoff = sph_cutoff(h, box)
         if cutoff < requested:
@@ -118,20 +139,30 @@ class PairContext:
         d = pos[idx_i] - pos[idx_j]
         half = 0.5 * box
         d = (d + half) % box - half
-        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+        r = xp.sqrt(xp.rowwise_dot(d, d))
         return cls(i=idx_i, j=idx_j, dx=d, r=r, n=len(pos))
 
     @property
     def n_pairs(self) -> int:
         return len(self.i)
 
+    def _h_i(self, h) -> np.ndarray:
+        """Per-pair i-side smoothing lengths, broadcasting a scalar
+        ``h`` like the rest of the SPH API does (a scalar used to crash
+        with ``TypeError: 'float' object is not subscriptable``)."""
+        h = xp.ensure_float(h)
+        if h.ndim == 0:
+            return h
+        return h[self.i]
+
     def kernel_values(self, h: np.ndarray) -> np.ndarray:
-        """W(r_ij, h_i) on all pairs."""
-        return cubic_spline(self.r, h[self.i])
+        """W(r_ij, h_i) on all pairs; ``h`` may be (n,) or scalar."""
+        return cubic_spline(self.r, self._h_i(h))
 
     def kernel_gradients(self, h: np.ndarray) -> np.ndarray:
-        """grad_i W(r_ij, h_i) on all pairs, shape (m, 3)."""
-        return cubic_spline_gradient(self.dx, self.r, h[self.i])
+        """grad_i W(r_ij, h_i) on all pairs, shape (m, 3); ``h`` may be
+        (n,) or scalar."""
+        return cubic_spline_gradient(self.dx, self.r, self._h_i(h))
 
     def _segments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(sort order, segment starts, segment particle ids) of the
@@ -139,9 +170,9 @@ class PairContext:
         kernel's scatter reuses it."""
         cached = getattr(self, "_segment_cache", None)
         if cached is None:
-            order = np.argsort(self.i, kind="stable")
+            order = xp.argsort(self.i)
             i_sorted = self.i[order]
-            starts = np.flatnonzero(
+            starts = xp.flatnonzero(
                 np.r_[True, i_sorted[1:] != i_sorted[:-1]]
             )
             cached = (order, starts, i_sorted[starts])
@@ -151,17 +182,20 @@ class PairContext:
     def scatter_sum(self, values: np.ndarray) -> np.ndarray:
         """Sum pair values into per-particle accumulators over i.
 
-        ``values`` may be (m,) or (m, k); returns (n,) or (n, k).  This
-        is the vectorised analogue of the GPU kernels' atomic adds,
-        implemented as a sorted-segment reduction (sort by i once, then
-        one contiguous ``np.add.reduceat`` pass per call).
+        ``values`` may be (m,) or (m, k); returns (n,) or (n, k) in the
+        *input dtype* (float32 pair values accumulate as float32
+        instead of silently upcasting to float64).  This is the
+        vectorised analogue of the GPU kernels' atomic adds: a
+        sorted-segment reduction (sort by i once, then one contiguous
+        ``xp.segment_sum`` pass per call -- ``np.add.reduceat`` on the
+        reference backend).
         """
-        values = np.asarray(values)
-        out = np.zeros((self.n,) + values.shape[1:])
+        values = xp.asarray(values)
+        out = xp.zeros((self.n,) + values.shape[1:], dtype=values.dtype)
         if self.n_pairs == 0:
             return out
         order, starts, ids = self._segments()
-        out[ids] = np.add.reduceat(values[order], starts, axis=0)
+        out[ids] = xp.segment_sum(values[order], starts)
         return out
 
     def mean_neighbors(self) -> float:

@@ -1,0 +1,292 @@
+"""The array-backend contract: one kernel surface, many runtimes.
+
+The paper's central claim is that a single CRK-HACC kernel source can
+run well under CUDA, HIP and SYCL; :mod:`repro.xp` applies the same
+structure to this reproduction's own hot path.  :class:`ArrayBackend`
+is the "single source": it names the ~30 data-parallel primitives the
+hot kernels are written against (creation, elementwise math, sorting,
+contractions, segmented reductions, FFTs) and supplies the reference
+NumPy implementation of each.  A backend specialises by overriding
+only the primitives it can do better -- exactly how the paper's kernels
+share one body and specialise per programming model -- and everything
+it does not override inherits the reference semantics.
+
+The data contract is deliberately narrow so every runtime can satisfy
+it: **ops take NumPy arrays and return NumPy arrays**.  A backend is
+free to use its own array type internally (torch tensors, numba-jitted
+loops) but converts at the boundary, which keeps the physics modules
+backend-agnostic and lets a run switch backends without touching
+simulation state.
+
+Dtype fidelity is part of the contract: an op must not silently upcast
+(float32 in means float32 out) unless its docstring says otherwise
+(``bincount`` accumulates in float64, NumPy's own behaviour).  On the
+reference backend every op is the literal NumPy call the hot path used
+before the shim existed, so float64 results are bit-identical to the
+pre-shim code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: the shim surface: every op a backend may specialise.  The module
+#:-level namespace of :mod:`repro.xp` exposes exactly these names.
+OP_NAMES = (
+    # creation / conversion
+    "asarray",
+    "ensure_float",
+    "zeros",
+    "zeros_like",
+    "empty",
+    "full",
+    "arange",
+    "eye",
+    # shape / selection
+    "concatenate",
+    "repeat",
+    "tile",
+    "where",
+    "clip",
+    # elementwise math
+    "sqrt",
+    "cbrt",
+    "abs",
+    "exp",
+    "floor",
+    "ceil",
+    "maximum",
+    "minimum",
+    "isfinite",
+    # reductions
+    "sum",
+    "max",
+    "min",
+    "any",
+    "cumsum",
+    "diff",
+    "count_nonzero",
+    "bincount",
+    # sorting / search
+    "argsort",
+    "searchsorted",
+    "flatnonzero",
+    "nonzero",
+    # contractions / linear algebra
+    "einsum",
+    "rowwise_dot",
+    "trace",
+    "solve",
+    # segmented reduction (the scatter primitive of the pair pipeline)
+    "segment_sum",
+    # spectral (the PM Poisson solve)
+    "rfftn",
+    "irfftn",
+)
+
+
+class ArrayBackend:
+    """Reference implementation of the shim surface (NumPy semantics).
+
+    Subclasses override a subset of ops; :attr:`specialised` reports
+    which ones, which is what the code-divergence measurement and the
+    capability table read.
+    """
+
+    #: registry key; subclasses must override
+    name = "base"
+    #: importable module this backend needs at runtime (None = stdlib
+    #: + numpy only, i.e. always available)
+    requires: str | None = None
+    #: one-line description for the capability table
+    summary = "reference NumPy semantics"
+
+    # -- creation / conversion -----------------------------------------
+    def asarray(self, x, dtype=None):
+        return np.asarray(x, dtype=dtype)
+
+    def ensure_float(self, x):
+        """As an array, in a floating dtype, preserving float32/float64.
+
+        Non-float inputs (ints, lists) convert to float64; float inputs
+        keep their precision -- the dtype-fidelity entry point the hot
+        path uses instead of a blanket ``asarray(x, float64)``.
+        """
+        a = np.asarray(x)
+        if a.dtype.kind == "f":
+            return a
+        return a.astype(np.float64)
+
+    def zeros(self, shape, dtype=None):
+        return np.zeros(shape, dtype=dtype)
+
+    def zeros_like(self, x):
+        return np.zeros_like(x)
+
+    def empty(self, shape, dtype=None):
+        return np.empty(shape, dtype=dtype)
+
+    def full(self, shape, fill, dtype=None):
+        return np.full(shape, fill, dtype=dtype)
+
+    def arange(self, n, dtype=None):
+        return np.arange(n, dtype=dtype)
+
+    def eye(self, n, dtype=None):
+        return np.eye(n, dtype=dtype)
+
+    # -- shape / selection ---------------------------------------------
+    def concatenate(self, arrays, axis=0):
+        return np.concatenate(arrays, axis=axis)
+
+    def repeat(self, x, repeats):
+        return np.repeat(x, repeats)
+
+    def tile(self, x, reps):
+        return np.tile(x, reps)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def clip(self, x, lo, hi):
+        return np.clip(x, lo, hi)
+
+    # -- elementwise math ----------------------------------------------
+    def sqrt(self, x):
+        return np.sqrt(x)
+
+    def cbrt(self, x):
+        return np.cbrt(x)
+
+    def abs(self, x):
+        return np.abs(x)
+
+    def exp(self, x):
+        return np.exp(x)
+
+    def floor(self, x):
+        return np.floor(x)
+
+    def ceil(self, x):
+        return np.ceil(x)
+
+    def maximum(self, a, b):
+        return np.maximum(a, b)
+
+    def minimum(self, a, b):
+        return np.minimum(a, b)
+
+    def isfinite(self, x):
+        return np.isfinite(x)
+
+    # -- reductions ------------------------------------------------------
+    def sum(self, x, axis=None):
+        return np.sum(x, axis=axis)
+
+    def max(self, x, axis=None):
+        return np.max(x, axis=axis)
+
+    def min(self, x, axis=None):
+        return np.min(x, axis=axis)
+
+    def any(self, x):
+        return bool(np.any(x))
+
+    def cumsum(self, x):
+        return np.cumsum(x)
+
+    def diff(self, x):
+        return np.diff(x)
+
+    def count_nonzero(self, x):
+        return int(np.count_nonzero(x))
+
+    def bincount(self, index, weights=None, minlength=0):
+        """Histogram scatter-add; accumulates in float64 (NumPy rule)."""
+        return np.bincount(index, weights=weights, minlength=minlength)
+
+    # -- sorting / search ------------------------------------------------
+    def argsort(self, x):
+        """Stable argsort (the pair pipeline's determinism contract)."""
+        return np.argsort(x, kind="stable")
+
+    def searchsorted(self, sorted_x, values):
+        return np.searchsorted(sorted_x, values)
+
+    def flatnonzero(self, x):
+        return np.flatnonzero(x)
+
+    def nonzero(self, x):
+        return np.nonzero(x)
+
+    # -- contractions / linear algebra ------------------------------------
+    def einsum(self, spec, *operands):
+        return np.einsum(spec, *operands)
+
+    def rowwise_dot(self, a, b):
+        """Row-wise dot product of two (m, k) arrays -> (m,)."""
+        return np.einsum("ij,ij->i", a, b)
+
+    def trace(self, x):
+        """Trace over the last two axes of a batched matrix stack."""
+        return np.trace(x, axis1=-2, axis2=-1)
+
+    def solve(self, a, b):
+        """Batched dense solve (the CRK 3x3 moment systems)."""
+        return np.linalg.solve(a, b)
+
+    # -- segmented reduction -----------------------------------------------
+    def segment_sum(self, sorted_values, starts):
+        """Sum contiguous segments of pre-sorted rows.
+
+        ``sorted_values`` is (m,) or (m, ...) already gathered into
+        segment order; ``starts`` are the segment start offsets.
+        Returns one row per segment.  This abstracts the NumPy
+        ``np.add.reduceat`` trick, which has no analogue outside NumPy:
+        other backends are free to histogram, scan or loop as long as
+        each segment's sum agrees to round-off.
+        """
+        return np.add.reduceat(sorted_values, starts, axis=0)
+
+    # -- spectral ----------------------------------------------------------
+    def rfftn(self, x):
+        return np.fft.rfftn(x)
+
+    def irfftn(self, x, s, axes):
+        return np.fft.irfftn(x, s=s, axes=axes)
+
+    # -- introspection -----------------------------------------------------
+    @classmethod
+    def specialised(cls) -> tuple[str, ...]:
+        """Ops this backend overrides relative to the reference."""
+        return tuple(
+            op
+            for op in OP_NAMES
+            if getattr(cls, op, None) is not getattr(ArrayBackend, op, None)
+        )
+
+    @classmethod
+    def source_files(cls) -> list[str]:
+        """The source files that "compile" this backend: the shared
+        contract plus every module in its own MRO below it.  These are
+        the per-platform line sets the code-divergence measurement
+        (Section 3.3 applied to ourselves) consumes."""
+        import inspect
+
+        files = [inspect.getsourcefile(ArrayBackend)]
+        for klass in cls.__mro__:
+            if klass in (ArrayBackend, object):
+                continue
+            path = inspect.getsourcefile(klass)
+            if path and path not in files:
+                files.append(path)
+        return [f for f in files if f]
+
+    def capabilities(self) -> dict:
+        """Capability row for the README table / CLI listing."""
+        return {
+            "name": self.name,
+            "requires": self.requires or "-",
+            "summary": self.summary,
+            "specialised_ops": list(self.specialised()),
+        }

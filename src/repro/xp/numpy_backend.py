@@ -1,0 +1,20 @@
+"""The reference backend: plain NumPy, bit-for-bit the pre-shim code.
+
+Every op inherits the reference implementation from
+:class:`~repro.xp.base.ArrayBackend` unchanged, so a float64 run on
+this backend reproduces the pre-refactor hot path exactly -- the
+correctness anchor every other backend is validated against, the same
+role the paper's CUDA baseline plays for the SYCL port.
+"""
+
+from __future__ import annotations
+
+from repro.xp.base import ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """Baseline vectorised NumPy (the correctness reference)."""
+
+    name = "numpy"
+    requires = None
+    summary = "reference vectorised NumPy; bit-identical float64 baseline"

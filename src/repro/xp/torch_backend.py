@@ -1,0 +1,86 @@
+"""The ``torch`` backend: tensor ops on PyTorch (optional).
+
+Registers only when :mod:`torch` is importable.  Ops convert NumPy
+arrays to tensors at the boundary (``torch.from_numpy`` shares memory
+on CPU, so conversion is free) and back, keeping the physics modules
+oblivious to the runtime underneath -- the shim's analogue of the
+paper's SYCL buffers wrapping the same host allocations the CUDA path
+uses.  The scatter primitive maps to ``index_add_``, PyTorch's
+deterministic CPU analogue of the GPU kernels' atomic adds.
+
+Dtype fidelity follows the shim contract: float32 stays float32 end to
+end, which on torch is the native fast path rather than a downcast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xp.base import ArrayBackend
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    HAVE_TORCH = True
+except ImportError:  # pragma: no cover
+    torch = None
+    HAVE_TORCH = False
+
+
+def _t(x):  # pragma: no cover - requires torch
+    """NumPy -> tensor, sharing memory when possible."""
+    return torch.from_numpy(np.ascontiguousarray(x))
+
+
+class TorchBackend(ArrayBackend):  # pragma: no cover - requires torch
+    """PyTorch tensor reductions behind the NumPy boundary (optional)."""
+
+    name = "torch"
+    requires = "torch"
+    summary = "torch tensor ops; index_add_ scatter (CPU or CUDA builds)"
+
+    def sqrt(self, x):
+        if not isinstance(x, np.ndarray) or x.dtype.kind != "f":
+            return np.sqrt(x)
+        return torch.sqrt(_t(x)).numpy()
+
+    def exp(self, x):
+        if not isinstance(x, np.ndarray) or x.dtype.kind != "f":
+            return np.exp(x)
+        return torch.exp(_t(x)).numpy()
+
+    def rowwise_dot(self, a, b):
+        return (_t(a) * _t(b)).sum(dim=1).numpy()
+
+    def cumsum(self, x):
+        return torch.cumsum(_t(x), dim=0).numpy()
+
+    def argsort(self, x):
+        return torch.argsort(_t(x), stable=True).numpy()
+
+    def solve(self, a, b):
+        return torch.linalg.solve(_t(a), _t(b)).numpy()
+
+    def segment_sum(self, sorted_values, starts):
+        values = _t(sorted_values)
+        m = len(sorted_values)
+        n_seg = len(starts)
+        lengths = np.diff(np.append(starts, m))
+        row_seg = torch.repeat_interleave(
+            torch.arange(n_seg, dtype=torch.int64), _t(lengths.astype(np.int64))
+        )
+        out = torch.zeros(
+            (n_seg,) + tuple(values.shape[1:]), dtype=values.dtype
+        )
+        out.index_add_(0, row_seg, values)
+        return out.numpy()
+
+    def bincount(self, index, weights=None, minlength=0):
+        if weights is None:
+            return np.bincount(index, minlength=minlength)
+        idx = _t(np.asarray(index, dtype=np.int64))
+        w = _t(np.asarray(weights, dtype=np.float64))
+        length = max(int(minlength), int(idx.max().item()) + 1 if len(idx) else 0)
+        out = torch.zeros(length, dtype=torch.float64)
+        out.index_add_(0, idx, w)
+        return out.numpy()

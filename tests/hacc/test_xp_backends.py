@@ -1,0 +1,325 @@
+"""Tests for the ``repro.xp`` array-backend shim.
+
+Covers the registry/selection machinery, cross-backend op parity, the
+dtype-fidelity contract, and the three pair-pipeline bugfix
+regressions this shim's port surfaced (float32 upcast in scatter_sum,
+scalar smoothing lengths, swapped sph_cutoff arguments).
+"""
+
+import numpy as np
+import pytest
+
+from repro import xp
+from repro.xp.base import OP_NAMES, ArrayBackend
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_backend():
+    """Backend selection is process-global; never leak it across tests."""
+    previous = xp._active
+    yield
+    xp._active = previous
+
+
+# ---------------------------------------------------------------------------
+# registry / selection
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"numpy", "blocked", "numba", "torch"} <= set(
+            xp.registered_backends()
+        )
+
+    def test_always_available_backends(self):
+        names = xp.available_backends()
+        assert names[0] == "numpy"
+        assert "blocked" in names
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(xp.UnknownBackendError, match="registered:"):
+            xp.set_backend("does-not-exist")
+
+    def test_unavailable_backend_raises_with_hint(self):
+        spec = xp._BackendSpec(
+            "ghost", "repro.xp.ghost", "GhostBackend", "not_an_importable_module"
+        )
+        xp._register_spec(spec)
+        try:
+            assert not spec.available()
+            with pytest.raises(xp.BackendUnavailableError, match="pip install"):
+                xp.set_backend("ghost")
+            assert "ghost" not in xp.available_backends()
+        finally:
+            del xp._REGISTRY["ghost"]
+
+    def test_set_backend_switches_dispatch(self):
+        xp.set_backend("blocked")
+        assert xp.get_backend().name == "blocked"
+        xp.set_backend("numpy")
+        assert xp.get_backend().name == "numpy"
+
+    def test_use_backend_scopes_and_restores(self):
+        xp.set_backend("numpy")
+        with xp.use_backend("blocked") as backend:
+            assert backend.name == "blocked"
+            assert xp.get_backend().name == "blocked"
+        assert xp.get_backend().name == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(xp.ENV_VAR, "blocked")
+        xp._active = None
+        assert xp.get_backend().name == "blocked"
+
+    def test_env_var_bad_name_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(xp.ENV_VAR, "no-such-backend")
+        xp._active = None
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = xp.get_backend()
+        assert backend.name == xp.DEFAULT_BACKEND
+
+    def test_explicit_set_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(xp.ENV_VAR, "blocked")
+        xp.set_backend("numpy")
+        assert xp.get_backend().name == "numpy"
+
+    def test_module_getattr_rejects_non_ops(self):
+        with pytest.raises(AttributeError):
+            xp.not_an_op  # noqa: B018
+
+    def test_register_backend_requires_subclass_and_name(self):
+        with pytest.raises(TypeError):
+            xp.register_backend(int)
+        with pytest.raises(ValueError):
+            xp.register_backend(type("Anon", (ArrayBackend,), {}))
+
+    def test_register_backend_roundtrip(self):
+        @xp.register_backend
+        class EchoBackend(ArrayBackend):
+            name = "echo-test"
+            summary = "test double"
+
+        try:
+            assert "echo-test" in xp.registered_backends()
+            xp.set_backend("echo-test")
+            assert xp.get_backend().name == "echo-test"
+        finally:
+            del xp._REGISTRY["echo-test"]
+            del xp._INSTANCES["echo-test"]
+
+    def test_capabilities_rows(self):
+        rows = {row["name"]: row for row in xp.backend_capabilities()}
+        assert rows["numpy"]["specialised_ops"] == []
+        assert "segment_sum" in rows["blocked"]["specialised_ops"]
+
+    def test_source_files_share_the_contract(self):
+        ref = xp.backend_source_files("numpy")
+        blk = xp.backend_source_files("blocked")
+        assert ref[0] == blk[0]  # both include base.py first
+        assert ref[-1] != blk[-1]
+
+
+# ---------------------------------------------------------------------------
+# op parity across every available backend
+# ---------------------------------------------------------------------------
+def _segments_fixture(rng, m=257, n_seg=31, trailing=()):
+    values = rng.standard_normal((m,) + trailing)
+    starts = np.sort(rng.choice(np.arange(1, m), size=n_seg - 1, replace=False))
+    starts = np.concatenate([[0], starts]).astype(np.int64)
+    return values, starts
+
+
+class TestOpParity:
+    @pytest.mark.parametrize("backend", xp.available_backends())
+    @pytest.mark.parametrize("trailing", [(), (3,), (3, 3)])
+    def test_segment_sum_matches_reference(self, backend, trailing):
+        rng = np.random.default_rng(7)
+        values, starts = _segments_fixture(rng, trailing=trailing)
+        expect = np.add.reduceat(values, starts, axis=0)
+        with xp.use_backend(backend):
+            got = xp.segment_sum(values, starts)
+        np.testing.assert_allclose(got, expect, rtol=1e-12, atol=1e-12)
+        assert got.shape == expect.shape
+
+    @pytest.mark.parametrize("backend", xp.available_backends())
+    def test_rowwise_dot_matches_reference(self, backend):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((101, 3))
+        b = rng.standard_normal((101, 3))
+        with xp.use_backend(backend):
+            got = xp.rowwise_dot(a, b)
+        np.testing.assert_allclose(got, np.einsum("ij,ij->i", a, b), rtol=1e-13)
+
+    @pytest.mark.parametrize("backend", xp.available_backends())
+    def test_weighted_bincount_matches_reference(self, backend):
+        rng = np.random.default_rng(13)
+        index = rng.integers(0, 20, size=300)
+        weights = rng.standard_normal(300)
+        with xp.use_backend(backend):
+            got = xp.bincount(index, weights=weights, minlength=25)
+        expect = np.bincount(index, weights=weights, minlength=25)
+        np.testing.assert_allclose(got, expect, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", xp.available_backends())
+    def test_argsort_is_stable(self, backend):
+        keys = np.array([2, 1, 2, 1, 2, 1, 0, 0], dtype=np.int64)
+        with xp.use_backend(backend):
+            order = xp.argsort(keys)
+        np.testing.assert_array_equal(order, np.argsort(keys, kind="stable"))
+
+    def test_numpy_backend_specialises_nothing(self):
+        from repro.xp.numpy_backend import NumpyBackend
+
+        assert NumpyBackend.specialised() == ()
+        assert set(OP_NAMES) <= set(dir(NumpyBackend))
+
+
+# ---------------------------------------------------------------------------
+# dtype fidelity
+# ---------------------------------------------------------------------------
+class TestDtypeFidelity:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_ensure_float_preserves_float_dtypes(self, dtype):
+        out = xp.ensure_float(np.ones(4, dtype=dtype))
+        assert out.dtype == dtype
+
+    def test_ensure_float_promotes_ints_to_float64(self):
+        assert xp.ensure_float(np.arange(4)).dtype == np.float64
+        assert xp.ensure_float([1, 2, 3]).dtype == np.float64
+
+    @pytest.mark.parametrize("backend", xp.available_backends())
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_segment_sum_preserves_dtype(self, backend, dtype):
+        rng = np.random.default_rng(3)
+        values, starts = _segments_fixture(rng, trailing=(3,))
+        values = values.astype(dtype)
+        with xp.use_backend(backend):
+            assert xp.segment_sum(values, starts).dtype == dtype
+
+
+# ---------------------------------------------------------------------------
+# bugfix regressions (pair pipeline)
+# ---------------------------------------------------------------------------
+def _tiny_context():
+    from repro.hacc.sph.pairs import PairContext
+
+    rng = np.random.default_rng(5)
+    pos = rng.uniform(0.0, 1.0, size=(24, 3))
+    h = np.full(24, 0.18)
+    return PairContext.build(pos, h, 1.0), h
+
+
+class TestScatterSumDtypeRegression:
+    """Bugfix: scatter_sum silently upcast float32 pair values to
+    float64 (``np.zeros`` without ``dtype=values.dtype``)."""
+
+    @pytest.mark.parametrize("backend", xp.available_backends())
+    @pytest.mark.parametrize("shape", [(), (3,)])
+    def test_float32_values_accumulate_as_float32(self, backend, shape):
+        ctx, _h = _tiny_context()
+        rng = np.random.default_rng(9)
+        values = rng.standard_normal((ctx.n_pairs,) + shape).astype(np.float32)
+        with xp.use_backend(backend):
+            out = ctx.scatter_sum(values)
+        assert out.dtype == np.float32
+        assert out.shape == (ctx.n,) + shape
+        np.testing.assert_allclose(
+            out, _reference_scatter(ctx, values), rtol=1e-5, atol=1e-5
+        )
+
+    def test_float64_results_unchanged(self):
+        ctx, _h = _tiny_context()
+        values = np.random.default_rng(2).standard_normal(ctx.n_pairs)
+        out = ctx.scatter_sum(values)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, _reference_scatter(ctx, values), rtol=1e-12)
+
+    def test_empty_context_keeps_dtype(self):
+        from repro.hacc.sph.pairs import PairContext
+
+        ctx = PairContext.build(np.zeros((0, 3)), np.zeros(0), 1.0)
+        out = ctx.scatter_sum(np.zeros((0, 3), dtype=np.float32))
+        assert out.dtype == np.float32
+        assert out.shape == (0, 3)
+
+
+def _reference_scatter(ctx, values):
+    out = np.zeros((ctx.n,) + values.shape[1:], dtype=np.float64)
+    np.add.at(out, ctx.i, values.astype(np.float64))
+    return out
+
+
+class TestScalarSmoothingLengthRegression:
+    """Bugfix: ``kernel_values(h)`` crashed with a TypeError when ``h``
+    was a python float (``h[self.i]`` on a scalar)."""
+
+    def test_scalar_h_matches_uniform_array(self):
+        ctx, h = _tiny_context()
+        scalar = float(h[0])
+        np.testing.assert_array_equal(
+            ctx.kernel_values(scalar), ctx.kernel_values(h)
+        )
+        np.testing.assert_array_equal(
+            ctx.kernel_gradients(scalar), ctx.kernel_gradients(h)
+        )
+
+    def test_zero_dim_array_accepted(self):
+        ctx, h = _tiny_context()
+        np.testing.assert_array_equal(
+            ctx.kernel_values(np.float64(h[0])), ctx.kernel_values(h)
+        )
+
+
+class TestSphCutoffValidationRegression:
+    """Bugfix: swapping the (h, box) arguments surfaced as an opaque
+    'truth value of an array is ambiguous' ValueError from ``min``."""
+
+    def test_swapped_arguments_raise_clear_typeerror(self):
+        from repro.hacc.sph.pairs import sph_cutoff
+
+        h = np.full(10, 0.2)
+        with pytest.raises(TypeError, match="did you swap"):
+            sph_cutoff(1.0, h)  # box and h swapped
+
+    @pytest.mark.parametrize("box", [0.0, -1.0])
+    def test_nonpositive_box_rejected(self, box):
+        from repro.hacc.sph.pairs import sph_cutoff
+
+        with pytest.raises(ValueError, match="must be positive"):
+            sph_cutoff(np.full(4, 0.1), box)
+
+    def test_valid_call_unchanged(self):
+        from repro.hacc.sph.kernels_math import SUPPORT
+        from repro.hacc.sph.pairs import sph_cutoff
+
+        requested, clamped = sph_cutoff(np.full(4, 0.1), 10.0)
+        assert requested == pytest.approx(SUPPORT * 0.1)
+        assert clamped == requested
+
+
+# ---------------------------------------------------------------------------
+# whole-driver cross-backend agreement
+# ---------------------------------------------------------------------------
+class TestDriverAgreement:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_numpy_and_blocked_agree_to_roundoff(self):
+        from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+
+        def run():
+            driver = AdiabaticDriver(
+                SimulationConfig(n_per_side=4, pm_mesh=8, n_steps=1)
+            )
+            driver.run()
+            return driver.particles
+
+        with xp.use_backend("numpy"):
+            ref = run()
+        with xp.use_backend("blocked"):
+            got = run()
+        for name in ("positions", "velocities", "u", "rho", "hsml", "volume"):
+            np.testing.assert_allclose(
+                getattr(got, name),
+                getattr(ref, name),
+                rtol=1e-9,
+                atol=1e-12,
+                err_msg=name,
+            )
