@@ -391,6 +391,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
     from repro.hacc.validation import validate_run
 
+    problem = _select_backend(args)
+    if problem:
+        print(problem)
+        return 2
     driver = AdiabaticDriver(
         SimulationConfig(n_per_side=args.n, pm_mesh=max(8, args.n), n_steps=args.steps)
     )
@@ -522,12 +526,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
-    """Render a recorded JSONL event log as a dashboard frame."""
+    """Render a recorded JSONL event log as a dashboard frame.
+
+    With ``--follow`` the log may still be growing (``repro serve
+    --events-out``, or a ``simulate`` in another terminal): the
+    dashboard tails it live and stops at the writer's final ``metrics``
+    snapshot or after ``--duration`` seconds.
+    """
     from pathlib import Path
 
-    from repro.observability.dashboard import load_events, render
+    from repro.observability.dashboard import follow_dashboard, load_events, render
 
     path = Path(args.events)
+    if args.follow:
+        if args.poll <= 0:
+            print("error: --poll must be positive")
+            return 2
+        try:
+            follow_dashboard(
+                path,
+                poll=args.poll,
+                duration=args.duration,
+                width=args.width,
+            )
+        except KeyboardInterrupt:
+            print()
+        return 0
     if not path.exists():
         print(f"error: no event log at {path}")
         return 2
@@ -551,6 +575,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     from repro.proglang.model import CompileError
 
+    problem = _select_backend(args)
+    if problem:
+        print(problem)
+        return 2
     trace = reference_trace(args.n)
     if args.device.lower() == "all":
         devices = list(all_devices())
@@ -572,6 +600,158 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print(f"{device.system}: does not compile: {exc}", file=sys.stderr)
     print(format_profile_table(profiler.rows()))
     return 0 if priced_any else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service behind a unix socket."""
+    import asyncio
+
+    from repro.service import ServiceAPI, ServiceConfig, SimulationService, TenantQuota
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1")
+        return 2
+    if args.cache_mb <= 0:
+        print("error: --cache-mb must be positive")
+        return 2
+    config = ServiceConfig(
+        workers=args.workers,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        quota=TenantQuota(max_active=args.quota),
+        checkpoint_dir=args.checkpoint_dir,
+        events_out=args.events_out,
+    )
+
+    async def _serve() -> None:
+        service = SimulationService(config)
+        api = ServiceAPI(service, args.socket)
+        await api.start()
+        print(f"serving on {args.socket} ({config.workers} worker(s))")
+        if args.events_out:
+            print(
+                f"event log: {args.events_out} "
+                f"-- follow with: python -m repro dashboard --follow {args.events_out}"
+            )
+        try:
+            await api.serve_until_shutdown()
+        finally:
+            stats = service.cache.stats()
+            print(
+                f"served {len(service.scheduler.jobs)} job(s), "
+                f"cache {stats.hits} hit(s) / {stats.misses} miss(es)"
+            )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted")
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> dict:
+    spec: dict = {
+        "n_per_side": args.n,
+        "n_steps": args.steps,
+        "seed": args.seed,
+        "products": [p.strip() for p in args.products.split(",") if p.strip()],
+    }
+    if args.backend:
+        spec["backend"] = args.backend
+    if args.faults:
+        spec["faults"] = args.faults
+    if args.ranks != 1:
+        spec["ranks"] = args.ranks
+    if args.degrade_policy:
+        spec["degrade_policy"] = args.degrade_policy
+    return spec
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running ``repro serve`` and await the result."""
+    import json as _json
+
+    from repro.service import submit_job
+
+    spec = _spec_from_args(args)
+    try:
+        lines = list(
+            submit_job(
+                args.socket,
+                spec,
+                tenant=args.tenant,
+                priority=args.priority,
+                deadline_in=args.deadline_in,
+                stream=args.stream,
+                timeout=args.timeout,
+            )
+        )
+    except (ConnectionRefusedError, FileNotFoundError):
+        print(f"error: no service listening on {args.socket}")
+        return 2
+    for line in lines:
+        if "event" in line:
+            event = line["event"]
+            print(
+                f"  step {event.get('step', '?')}: a={event.get('a', 0):.5f} "
+                f"KE={event.get('kinetic_energy', 0):.6g}"
+            )
+    final = lines[-1]
+    if not final.get("ok"):
+        error = final.get("error", {})
+        print(f"error [{error.get('type', '?')}]: {error.get('message', '')}")
+        return 1
+    if args.json:
+        print(_json.dumps(final["result"], sort_keys=True, indent=2))
+        return 0
+    result = final["result"]
+    origin = "cache" if result["from_cache"] else "run"
+    print(
+        f"job {final['job_id']} {final['state']} ({origin}): "
+        f"{result['steps_completed']} step(s), "
+        f"attempts={result['attempts']}, degraded={result['degraded']}, "
+        f"preemptions={final.get('preemptions', 0)}"
+    )
+    for name, product in sorted(result["products"].items()):
+        keys = ", ".join(sorted(product)) if isinstance(product, dict) else product
+        print(f"  {name}: {keys}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List a running service's jobs (and optionally its stats)."""
+    from repro.service import request
+
+    try:
+        response = request(args.socket, {"op": "jobs"}, timeout=args.timeout)
+    except (ConnectionRefusedError, FileNotFoundError):
+        print(f"error: no service listening on {args.socket}")
+        return 2
+    jobs = response.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+    else:
+        print(
+            f"{'id':>4} {'state':>10} {'tenant':>10} {'prio':>4} "
+            f"{'steps':>5} {'preempt':>7} spec"
+        )
+        for job in jobs:
+            print(
+                f"{job['job_id']:>4} {job['state']:>10} {job['tenant']:>10.10} "
+                f"{job['priority']:>4} {job['steps_done']:>5} "
+                f"{job['preemptions']:>7} {job['spec_hash'][:12]}"
+                + (f" -> {job['coalesced_into']}" if job["coalesced_into"] else "")
+                + (f" [{job['error']}]" if job["error"] else "")
+            )
+    if args.stats:
+        stats = request(args.socket, {"op": "stats"}, timeout=args.timeout)["stats"]
+        cache = stats["cache"]
+        print(
+            f"queue depth {stats['queue_depth']}, running {stats['running']}, "
+            f"cache {cache['hits']} hit(s) / {cache['misses']} miss(es) "
+            f"({cache['hit_rate']:.0%}), {cache['entries']} entr(ies), "
+            f"{cache['bytes']} byte(s)"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -710,6 +890,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="run and audit invariants")
     p.add_argument("-n", type=int, default=6)
     p.add_argument("--steps", type=int, default=2)
+    p.add_argument(
+        "--backend",
+        help="array backend for the hot path (same semantics as simulate)",
+    )
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("roofline", help="roofline positions on a device")
@@ -769,6 +953,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("events", help="JSONL event log (simulate/trace --events-out)")
     p.add_argument("--width", type=int, default=80, help="frame width in columns")
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail a growing event log live (e.g. repro serve --events-out)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="follow-mode poll interval in seconds",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        help="stop following after this many seconds (default: until the "
+        "writer's final metrics snapshot)",
+    )
     p.set_defaults(func=_cmd_dashboard)
 
     p = sub.add_parser(
@@ -782,7 +983,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="select | memory32 | memory_object | broadcast | visa",
     )
     p.add_argument("-n", type=int, default=8)
+    p.add_argument(
+        "--backend",
+        help="array backend for the trace-recording run (same semantics "
+        "as simulate)",
+    )
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "serve", help="run the simulation service behind a unix socket"
+    )
+    p.add_argument("--socket", default="repro.sock", help="unix socket path")
+    p.add_argument("--workers", type=int, default=2, help="worker pool size")
+    p.add_argument(
+        "--cache-mb", type=float, default=256, help="result cache budget (MiB)"
+    )
+    p.add_argument(
+        "--quota", type=int, default=64, help="per-tenant active-job quota"
+    )
+    p.add_argument(
+        "--checkpoint-dir", help="directory for preemption checkpoints"
+    )
+    p.add_argument(
+        "--events-out",
+        help="append a live JSONL event log (repro dashboard --follow input)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one job to a running repro serve"
+    )
+    p.add_argument("--socket", default="repro.sock", help="unix socket path")
+    p.add_argument("-n", type=int, default=6, help="particles per side (2x n^3)")
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--seed", type=int, default=2023)
+    p.add_argument(
+        "--products",
+        default="diagnostics",
+        help="comma-separated: diagnostics,power_spectrum,halo_catalog,trace",
+    )
+    p.add_argument("--backend", help="array backend for the hot path")
+    p.add_argument("--faults", help="fault plan (same syntax as simulate)")
+    p.add_argument("--ranks", type=int, default=1)
+    p.add_argument("--degrade-policy", help="shrink | restart | abort")
+    p.add_argument("--tenant", default="default")
+    p.add_argument(
+        "--priority", type=int, default=1, help="priority class (lower = sooner)"
+    )
+    p.add_argument(
+        "--deadline-in",
+        type=float,
+        help="soft deadline in seconds from now (drives preemption)",
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="print per-step in-situ snapshot events while the job runs",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a running service's jobs")
+    p.add_argument("--socket", default="repro.sock", help="unix socket path")
+    p.add_argument(
+        "--stats", action="store_true", help="also print queue/cache stats"
+    )
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=_cmd_jobs)
 
     return parser
 

@@ -1,0 +1,107 @@
+"""Deterministic content hashing of configuration objects.
+
+One canonicalisation, two consumers: the service layer's
+content-addressed result cache (`repro.service.cache`) keys cached
+products on the hash of the job's configuration, and the simulation
+checkpoint format embeds the same hash of its
+:class:`~repro.hacc.timestep.SimulationConfig` so a restart can detect
+a checkpoint written under a different configuration without parsing
+and comparing every field.
+
+The hash must therefore be *stable across process boundaries and
+representation details*:
+
+- dict key order never matters (sorted-key JSON);
+- NumPy scalars hash like the Python numbers they equal
+  (``np.int64(5)`` == ``5``, ``np.float32`` promoted through
+  ``float``), and NumPy arrays like nested lists — dtype width is a
+  storage detail, not configuration content;
+- dataclasses, tuples, and sets canonicalise structurally (tuples as
+  lists, sets sorted);
+- floats render with ``repr`` round-trip fidelity via ``json``, so
+  two equal floats always produce identical text;
+- ``-0.0`` hashes like ``0.0``; NaN and the infinities are rejected —
+  a NaN value can never be re-looked-up (NaN != NaN) and canonical
+  JSON has no representation for non-finite numbers.
+
+Equal configurations hash identically; any value change produces a
+different digest (property-tested in ``tests/core/test_confighash.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from enum import Enum
+from typing import Any
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON-compatible types, deterministically.
+
+    Raises :class:`TypeError` for values with no canonical form and
+    :class:`ValueError` for non-finite floats (NaN would never compare
+    equal to itself on lookup; infinities have no JSON form).
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, Enum):
+        # an enum's identity is its name+value, not its repr
+        return [type(value).__name__, value.name, canonicalize(value.value)]
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(
+                f"{value!r} has no canonical content hash (non-finite)"
+            )
+        f = float(value)
+        return 0.0 if f == 0.0 else f  # -0.0 == 0.0
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return canonicalize(
+            {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        )
+    if isinstance(value, dict):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"config dict keys must be strings, got {key!r}"
+                )
+            out[key] = canonicalize(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        items = [canonicalize(v) for v in value]
+        return sorted(items, key=lambda v: json.dumps(v, sort_keys=True))
+    # NumPy scalars and arrays without importing numpy at module scope
+    # (the helper must stay importable in array-free tooling contexts)
+    item = getattr(value, "item", None)
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist) and getattr(value, "ndim", None) not in (None, 0):
+        return canonicalize(tolist())
+    if callable(item) and hasattr(value, "dtype"):
+        return canonicalize(item())
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for content hashing"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of ``value`` (sorted keys, no spaces)."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def config_hash(value: Any, *, length: int | None = None) -> str:
+    """SHA-256 hex digest of the canonical form of ``value``.
+
+    ``length`` truncates the digest (e.g. 16 hex chars for display
+    keys); the full 64-char digest is the content-addressing key.
+    """
+    digest = hashlib.sha256(canonical_json(value).encode()).hexdigest()
+    return digest[:length] if length else digest

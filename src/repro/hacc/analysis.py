@@ -39,6 +39,10 @@ class PowerSpectrumMeasurement:
     def __len__(self) -> int:
         return len(self.k)
 
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """The measurement as a plain mapping (service product form)."""
+        return {"k": self.k, "power": self.power, "n_modes": self.n_modes}
+
 
 def measure_power_spectrum(
     particles: ParticleData,

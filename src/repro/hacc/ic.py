@@ -47,6 +47,13 @@ class ICConfig:
         if self.lpt_order not in (1, 2):
             raise ValueError("lpt_order must be 1 or 2")
 
+    def content_hash(self) -> str:
+        """Canonical content key of the particle load this config
+        generates (the service caches generated ICs under it)."""
+        from repro.core.confighash import config_hash
+
+        return config_hash(self)
+
 
 def _zero_nyquist(field_k: np.ndarray, n: int) -> np.ndarray:
     """Zero the Nyquist planes of an rfft-layout field (in place).

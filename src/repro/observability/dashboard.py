@@ -11,7 +11,12 @@ entry points share the renderer:
 - ``repro simulate --live`` drives :class:`LiveDashboard` from the
   driver's ``on_step`` callback, redrawing in place on a TTY (ANSI
   cursor-home) and printing periodic frames otherwise, so piping to a
-  log file stays readable.
+  log file stays readable;
+- ``repro dashboard --follow`` tails a *growing* event log (e.g. the
+  one ``repro serve --events-out`` appends to) via
+  :func:`follow_events`, folding records into a :class:`LiveDashboard`
+  as they land and stopping at the terminal ``metrics`` snapshot the
+  writer emits on shutdown.
 
 Everything here is stdlib-only and side-effect free except the actual
 printing; :func:`render` on a :class:`DashboardState` returns the frame
@@ -152,6 +157,83 @@ def load_events(path: str | Path) -> DashboardState:
     return state
 
 
+def follow_events(
+    path: str | Path,
+    *,
+    poll: float = 0.2,
+    duration: float | None = None,
+    stop_on_metrics: bool = True,
+) -> Iterable[dict[str, Any]]:
+    """Yield records from a *growing* JSONL event log as they land.
+
+    Waits for the file to appear, then tails it: complete lines parse
+    and yield immediately, a partial line (the writer mid-flush) is
+    buffered until its newline arrives.  The stream ends at the
+    terminal ``metrics`` snapshot every finished log carries
+    (``stop_on_metrics``) or after ``duration`` wall seconds — without
+    a limit, a live ``--follow`` runs until the writer shuts down.
+    """
+    import json
+    import time
+
+    path = Path(path)
+    deadline = time.monotonic() + duration if duration is not None else None
+    handle: TextIO | None = None
+    buffer = ""
+
+    def expired() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    try:
+        while True:
+            if handle is None:
+                if path.exists():
+                    handle = path.open("r")
+                    continue
+                if expired():
+                    return
+                time.sleep(poll)
+                continue
+            chunk = handle.readline()
+            if not chunk:
+                if expired():
+                    return
+                time.sleep(poll)
+                continue
+            buffer += chunk
+            if not buffer.endswith("\n"):
+                continue  # partial line; the writer will finish it
+            line, buffer = buffer.strip(), ""
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write; skip rather than crash the tail
+            yield event
+            if stop_on_metrics and event.get("kind") == "metrics":
+                return
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def follow_dashboard(
+    path: str | Path,
+    *,
+    stream: TextIO | None = None,
+    poll: float = 0.2,
+    duration: float | None = None,
+    width: int = 80,
+) -> DashboardState:
+    """Tail ``path`` into a live frame; returns the final state."""
+    live = LiveDashboard(stream=stream, width=width)
+    for event in follow_events(path, poll=poll, duration=duration):
+        live.update([event])
+    live.finish()
+    return live.state
+
+
 # ----------------------------------------------------------------------
 # rendering
 
@@ -223,7 +305,7 @@ def render(state: DashboardState, width: int = 80) -> str:
     resilience = [
         e
         for e in state.events
-        if e.get("category") in ("resilience", "health", "fault")
+        if e.get("category") in ("resilience", "health", "fault", "service")
     ]
     if resilience:
         lines.append(bar)

@@ -61,6 +61,20 @@ METRIC_GLOSSARY: dict[str, str] = {
     "checkpoint.writes": "simulation checkpoints written (counter)",
     "checkpoint.bytes": "bytes of checkpoint data written (counter)",
     "checkpoint.write_failures": "checkpoint writes absorbed as failures (counter)",
+    "svc.jobs.submitted": "jobs admitted by the service, including cached and coalesced (counter)",
+    "svc.jobs.completed": "jobs finished with their products, cache hits included (counter)",
+    "svc.jobs.failed": "jobs that exhausted execution and failed their future (counter)",
+    "svc.jobs.rejected": "submissions refused by the per-tenant quota (counter)",
+    "svc.jobs.coalesced": "duplicate in-flight submissions attached to a leader's execution (counter)",
+    "svc.jobs.preempted": "running jobs checkpointed and requeued for a more urgent grant (counter)",
+    "svc.jobs.resumed": "preempted jobs restored from their checkpoint on a later grant (counter)",
+    "svc.jobs.backend_fallback": "jobs degraded to the reference backend, requested one unavailable (counter)",
+    "svc.queue.depth": "jobs waiting in the scheduler's pending heap (gauge)",
+    "svc.workers.busy": "worker tasks currently executing a grant (gauge)",
+    "svc.cache.hits": "content-cache lookups served from a resident entry (counter)",
+    "svc.cache.misses": "content-cache lookups that fell through to computation (counter)",
+    "svc.cache.evictions": "entries LRU-evicted to stay under the cache byte budget (counter)",
+    "svc.cache.bytes": "resident bytes in the content-addressed cache (gauge)",
 }
 
 #: default bucket edges for the neighbour-count histogram

@@ -56,6 +56,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.confighash import config_hash
 from repro.hacc.checkpoint import CheckpointError, payload_digest
 from repro.hacc.cosmology import Cosmology
 from repro.hacc.particles import ParticleData
@@ -142,6 +143,10 @@ class SimulationCheckpoint:
             "config_json": np.frombuffer(
                 json.dumps(dataclasses.asdict(self.config)).encode(), dtype=np.uint8
             ),
+            # canonical content hash of the config (shared with the
+            # service cache); load verifies it against the decoded
+            # config so a resume never silently crosses configurations
+            "config_hash": np.array(config_hash(self.config), dtype=np.str_),
             "rng_json": np.frombuffer(
                 json.dumps(self.rng_state).encode(), dtype=np.uint8
             ),
@@ -240,6 +245,15 @@ class SimulationCheckpoint:
         config = SimulationConfig(
             **json.loads(bytes(payload["config_json"]).decode())
         )
+        stored_hash = payload.get("config_hash")
+        if stored_hash is not None and str(stored_hash) != config_hash(config):
+            # same format version: files written before the hash was
+            # recorded load fine, but a recorded hash must agree with
+            # the config it travels with
+            raise CheckpointError(
+                f"config hash mismatch: stored {str(stored_hash)[:12]}..., "
+                f"decoded config hashes to {config_hash(config)[:12]}..."
+            )
         rng_state = json.loads(bytes(payload["rng_json"]).decode())
         trace = tuple(
             KernelInvocation(str(name), int(n), float(per))

@@ -1,0 +1,267 @@
+"""The service front end: JSONL over a unix socket (plus a client).
+
+Framing is one JSON object per line in both directions — the same
+newline-delimited discipline as the telemetry event log, so the wire
+is greppable and a request can be composed in a shell::
+
+    printf '{"op": "jobs"}\n' | nc -U /tmp/repro.sock
+
+Requests carry an ``op``:
+
+- ``submit`` — admit a job; ``spec`` is the
+  :meth:`~repro.service.jobs.JobSpec.as_dict` wire form.  With
+  ``wait`` (default) the response arrives when the job completes;
+  with ``stream`` each in-situ snapshot event is forwarded as an
+  interim ``{"event": ...}`` line before the final result;
+- ``jobs`` — lifecycle records of every admitted job;
+- ``stats`` — queue depth, cache hit/miss accounting, counters;
+- ``ping`` — liveness probe;
+- ``shutdown`` — drain and stop the service.
+
+Every response line carries ``ok``; failures are *typed*
+(``{"ok": false, "error": {"type": "QuotaExceeded", ...}}``) so a
+client can distinguish admission rejections from execution failures.
+
+The synchronous client half (:func:`request`, :func:`submit_job`) is
+what ``repro submit`` / ``repro jobs`` use — plain blocking sockets,
+no asyncio required on the client side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.service.jobs import Job, ServiceError, SubmissionError
+from repro.service.scheduler import QuotaExceeded
+from repro.service.workers import SimulationService
+
+#: protocol identifier returned by ping
+API_VERSION = 1
+
+
+def _error_payload(exc: Exception) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+    if isinstance(exc, QuotaExceeded):
+        payload["error"].update(
+            tenant=exc.tenant, limit=exc.limit, active=exc.active
+        )
+    return payload
+
+
+class ServiceAPI:
+    """Asyncio unix-socket server wrapping one :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService, socket_path: str | Path):
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._server: asyncio.AbstractServer | None = None
+        #: set once a shutdown request drains the service
+        self.shutdown_event = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        await self.service.start()
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path)
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request arrives, then drain."""
+        await self.shutdown_event.wait()
+        await self.close()
+        await self.service.shutdown()
+
+    # -- request handling ----------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await self._send(writer, _error_payload(exc))
+                    continue
+                try:
+                    done = await self._dispatch(request, writer)
+                except (ServiceError, ValueError) as exc:
+                    await self._send(writer, _error_payload(exc))
+                    continue
+                if done:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client hung up mid-stream; the job keeps running
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one request; True ends the connection."""
+        op = request.get("op")
+        if op == "ping":
+            await self._send(writer, {"ok": True, "version": API_VERSION})
+        elif op == "submit":
+            await self._handle_submit(request, writer)
+        elif op == "jobs":
+            await self._send(
+                writer,
+                {
+                    "ok": True,
+                    "jobs": [j.describe() for j in self.service.scheduler.jobs],
+                },
+            )
+        elif op == "stats":
+            await self._send(writer, {"ok": True, "stats": self.service.stats()})
+        elif op == "shutdown":
+            await self._send(writer, {"ok": True, "shutting_down": True})
+            self.shutdown_event.set()
+            return True
+        else:
+            raise SubmissionError(f"unknown op {op!r}")
+        return False
+
+    async def _handle_submit(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        spec = request.get("spec")
+        if not isinstance(spec, dict):
+            raise SubmissionError("submit needs a 'spec' object")
+        job = await self.service.submit(
+            spec,
+            tenant=str(request.get("tenant", "default")),
+            priority=int(request.get("priority", 1)),
+            deadline_in=request.get("deadline_in"),
+        )
+        accepted = {
+            "ok": True,
+            "job_id": job.job_id,
+            "spec_hash": job.spec_hash,
+            "state": str(job.state),
+        }
+        if not request.get("wait", True):
+            await self._send(writer, accepted)
+            return
+        if request.get("stream"):
+            await self._send(writer, accepted)
+            queue = job.subscribe()
+            if job.future.done():
+                job.close_stream()
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                await self._send(writer, {"ok": True, "event": event})
+        try:
+            result = await job.future
+        except Exception as exc:  # noqa: BLE001 — typed over the wire
+            await self._send(
+                writer, {**_error_payload(exc), "job_id": job.job_id}
+            )
+            return
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "job_id": job.job_id,
+                "state": str(job.state),
+                "preemptions": job.preemptions,
+                "result": result.as_dict(),
+            },
+        )
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+        writer.write(json.dumps(payload, sort_keys=True).encode() + b"\n")
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# synchronous client (the CLI side)
+
+
+def _connect(socket_path: str | Path, timeout: float) -> socket.socket:
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(str(socket_path))
+    return sock
+
+
+def _lines(sock: socket.socket) -> Iterator[dict[str, Any]]:
+    buffer = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            if line.strip():
+                yield json.loads(line)
+
+
+def request(
+    socket_path: str | Path, payload: dict[str, Any], *, timeout: float = 60.0
+) -> dict[str, Any]:
+    """One request, one response (ping/jobs/stats/shutdown/async submit)."""
+    with _connect(socket_path, timeout) as sock:
+        sock.sendall(json.dumps(payload).encode() + b"\n")
+        for response in _lines(sock):
+            return response
+    raise ServiceError("connection closed without a response")
+
+
+def submit_job(
+    socket_path: str | Path,
+    spec: dict[str, Any],
+    *,
+    tenant: str = "default",
+    priority: int = 1,
+    deadline_in: float | None = None,
+    stream: bool = False,
+    timeout: float = 600.0,
+) -> Iterator[dict[str, Any]]:
+    """Submit and yield response lines (ack, events, final result)."""
+    payload: dict[str, Any] = {
+        "op": "submit",
+        "spec": spec,
+        "tenant": tenant,
+        "priority": priority,
+        "wait": True,
+        "stream": stream,
+    }
+    if deadline_in is not None:
+        payload["deadline_in"] = deadline_in
+    with _connect(socket_path, timeout) as sock:
+        sock.sendall(json.dumps(payload).encode() + b"\n")
+        for line in _lines(sock):
+            yield line
+            # the stream ends at the final result or a typed error;
+            # the connection itself stays usable for further requests
+            if "result" in line or not line.get("ok", False):
+                return

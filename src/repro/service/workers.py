@@ -1,0 +1,606 @@
+"""The worker pool: supervised, cacheable, observable job execution.
+
+Each worker is an asyncio task that awaits grants from the
+:class:`~repro.service.scheduler.JobScheduler` and runs the granted
+job's simulation in an executor thread (``asyncio.to_thread``), so the
+event loop — and with it submission, coalescing, and preemption —
+stays responsive while NumPy crunches.
+
+Two execution paths:
+
+- **plain jobs** (``ranks == 1``, no fault plan) step the
+  :class:`~repro.hacc.timestep.AdiabaticDriver` directly, checking the
+  job's cooperative preemption flag between steps.  On preemption the
+  worker checkpoints the driver through a
+  :class:`~repro.resilience.restart.CheckpointManager` (the real
+  atomic checksummed disk format), requeues the job, and the next
+  grant restores the driver from that checkpoint — PR 1's bit-exact
+  restart is what makes service-level preemption free;
+- **supervised jobs** (a fault plan or ``ranks > 1``) run under
+  :func:`~repro.resilience.runner.run_simulation`, so injected worker
+  faults degrade along the PR 4 ladder (retry from checkpoint, shrink,
+  buddy adoption) instead of failing the request.
+
+Inputs are shared through the content-addressed cache: the Zel'dovich
+particle load (``ic:``, keyed on the IC config hash) and the
+sigma8-normalised linear power spectrum (``tf:``, keyed on the
+cosmology hash — its normalisation integral is the expensive part) are
+computed once and reused by every job that needs them.  Finished
+products land under ``result:<spec-hash>``.
+
+Every job's execution is a flame span (``category="job"``) on the
+service's :class:`~repro.observability.tracing.TraceRecorder`, with
+the driver's step/kernel spans nested inside it, and each completed
+step is streamed to the job's subscribers and to the live event log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.confighash import config_hash
+from repro.hacc.analysis import measure_power_spectrum
+from repro.hacc.cosmology import Cosmology
+from repro.hacc.halo import fof
+from repro.hacc.ic import zeldovich_ics
+from repro.hacc.particles import ParticleData, Species
+from repro.hacc.power import PowerSpectrum
+from repro.hacc.timestep import AdiabaticDriver, SimulationConfig
+from repro.observability.export import EVENT_LOG_VERSION
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import TraceRecorder, maybe_span
+from repro.resilience.restart import CheckpointManager, SimulationCheckpoint
+from repro.service.cache import ContentCache
+from repro.service.jobs import Job, JobResult, JobSpec, JobState, SubmissionError
+from repro.service.scheduler import JobScheduler, TenantQuota
+
+#: backends other than the reference mutate process-global dispatch
+#: state (repro.xp), so their executions are serialised
+_BACKEND_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    #: concurrent worker tasks
+    workers: int = 2
+    #: result/IC/transfer-function cache budget in bytes
+    cache_bytes: int = 256 * 1024 * 1024
+    #: per-tenant active-job quota
+    quota: TenantQuota = TenantQuota()
+    #: directory for preemption checkpoints (a temp dir when None)
+    checkpoint_dir: str | None = None
+    #: live JSONL event log (the dashboard --follow feed), optional
+    events_out: str | None = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+
+
+class ServiceEventLog:
+    """Append-only JSONL event log a live dashboard can tail.
+
+    Unlike :func:`~repro.observability.export.write_event_log` (which
+    dumps a finished run once), this writer appends records *as they
+    happen* and flushes each line, so ``repro dashboard --follow``
+    watching the file sees the service live.  Record kinds reuse the
+    event-log schema: ``header`` first, ``instant``/``counter`` while
+    serving, one final ``metrics`` snapshot on close.
+    """
+
+    def __init__(self, path: str | Path, meta: dict[str, Any] | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        self._lock = threading.Lock()
+        self._start = time.perf_counter()
+        header = {"kind": "header", "version": EVENT_LOG_VERSION}
+        if meta:
+            header["meta"] = dict(meta)
+        self.emit(header)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def instant(self, name: str, **args: Any) -> None:
+        self.emit(
+            {
+                "kind": "instant",
+                "name": name,
+                "category": "service",
+                "ts": (time.perf_counter() - self._start) * 1e6,
+                "pid": 0,
+                "args": args,
+            }
+        )
+
+    def counter(self, name: str, value: float) -> None:
+        self.emit(
+            {
+                "kind": "counter",
+                "name": name,
+                "ts": (time.perf_counter() - self._start) * 1e6,
+                "pid": 0,
+                "value": float(value),
+            }
+        )
+
+    def close(self, metrics: MetricsRegistry | None = None) -> None:
+        if metrics is not None:
+            self.emit({"kind": "metrics", "snapshot": metrics.snapshot()})
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class SimulationService:
+    """Scheduler + worker pool + cache behind one async facade.
+
+    Lifecycle::
+
+        service = SimulationService(ServiceConfig(workers=2))
+        await service.start()
+        job = await service.submit(JobSpec(n_per_side=6, n_steps=2))
+        result = await job.future
+        await service.shutdown()
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        tracer: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.tracer = tracer if tracer is not None else TraceRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = ContentCache(self.config.cache_bytes, metrics=self.metrics)
+        self.scheduler = JobScheduler(
+            self.config.quota, tracer=self.tracer, metrics=self.metrics
+        )
+        self._checkpoint_root = Path(
+            self.config.checkpoint_dir
+            or tempfile.mkdtemp(prefix="repro-service-ckpt-")
+        )
+        self.events: ServiceEventLog | None = None
+        if self.config.events_out:
+            self.events = ServiceEventLog(
+                self.config.events_out, meta={"title": "repro serve"}
+            )
+        self._workers: list[asyncio.Task] = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._workers = [
+            asyncio.create_task(self._worker_loop(wid), name=f"svc-worker-{wid}")
+            for wid in range(self.config.workers)
+        ]
+
+    async def drain(self) -> None:
+        """Wait until every admitted job reaches a terminal state."""
+        futures = [job.future for job in self.scheduler.jobs]
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)
+
+    async def shutdown(self, drain: bool = True) -> None:
+        if drain:
+            await self.drain()
+        await self.scheduler.close()
+        for task in self._workers:
+            await task
+        self._workers = []
+        if self.events is not None:
+            self.events.instant("service-shutdown", jobs=len(self.scheduler.jobs))
+            self.events.close(self.metrics)
+
+    # -- submission ----------------------------------------------------
+    async def submit(
+        self,
+        spec: JobSpec | dict[str, Any],
+        *,
+        tenant: str = "default",
+        priority: int = 1,
+        deadline_in: float | None = None,
+    ) -> Job:
+        """Admit one request: cache-probe, then schedule (or coalesce).
+
+        A spec whose products are already cached completes immediately
+        (``result.from_cache``); otherwise the scheduler queues it —
+        or attaches it to an identical in-flight execution.  Raises
+        :class:`~repro.service.jobs.SubmissionError` /
+        :class:`~repro.service.scheduler.QuotaExceeded` as typed
+        rejections.
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        spec.validate()
+        self._validate_backend(spec)
+        deadline = (
+            asyncio.get_running_loop().time() + deadline_in
+            if deadline_in is not None
+            else None
+        )
+
+        cached = self.cache.get(f"result:{spec.content_hash()}")
+        if cached is not None:
+            job = Job(
+                spec,
+                job_id=next(self.scheduler._job_ids),
+                tenant=tenant,
+                priority=priority,
+                deadline=deadline,
+            )
+            self.scheduler.jobs.append(job)
+            self.metrics.counter("svc.jobs.submitted").inc()
+            self.metrics.counter("svc.jobs.completed").inc()
+            job.finish(dataclasses.replace(cached, from_cache=True))
+            if self.events is not None:
+                self.events.instant(
+                    "job-cache-hit", job=job.job_id, spec=job.spec_hash[:12]
+                )
+            return job
+
+        job = await self.scheduler.submit(
+            spec, tenant=tenant, priority=priority, deadline=deadline
+        )
+        if self.events is not None:
+            self.events.instant(
+                "job-submitted",
+                job=job.job_id,
+                spec=job.spec_hash[:12],
+                tenant=tenant,
+                state=str(job.state),
+            )
+            self.events.counter("svc.queue.depth", self.scheduler.depth)
+        return job
+
+    @staticmethod
+    def _validate_backend(spec: JobSpec) -> None:
+        from repro import xp
+
+        if spec.backend not in xp.registered_backends():
+            raise SubmissionError(
+                f"unknown backend {spec.backend!r} "
+                f"(registered: {sorted(xp.registered_backends())})"
+            )
+
+    # -- worker loop ---------------------------------------------------
+    async def _worker_loop(self, wid: int) -> None:
+        while True:
+            job = await self.scheduler.next_job()
+            if job is None:
+                return
+            await self._run_granted(job, wid)
+
+    async def _run_granted(self, job: Job, wid: int) -> None:
+        self.metrics.gauge("svc.workers.busy").add(1)
+        loop = asyncio.get_running_loop()
+
+        def publish(event: dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(job.publish, event)
+
+        try:
+            # a duplicate that queued behind its leader's completion
+            # window would re-execute; the grant-time peek (metrics-
+            # silent) catches it without charging a hit or a miss
+            cached = self.cache.peek(f"result:{job.spec_hash}")
+            if cached is not None:
+                self._complete(job, dataclasses.replace(cached, from_cache=True))
+                return
+            outcome = await asyncio.to_thread(self._execute_sync, job, wid, publish)
+            if outcome == "preempted":
+                self.scheduler.requeue(job)
+                if self.events is not None:
+                    self.events.instant(
+                        "job-preempted", job=job.job_id, step=job.steps_done
+                    )
+                    self.events.counter("svc.queue.depth", self.scheduler.depth)
+        except Exception as exc:  # noqa: BLE001 — a job must never kill its worker
+            self.metrics.counter("svc.jobs.failed").inc()
+            if self.events is not None:
+                self.events.instant("job-failed", job=job.job_id, error=str(exc))
+            job.fail(exc)
+            self.scheduler.task_done(job)
+        finally:
+            self.metrics.gauge("svc.workers.busy").add(-1)
+
+    def _complete(self, job: Job, result: JobResult) -> None:
+        self.metrics.counter("svc.jobs.completed").inc()
+        if self.events is not None:
+            self.events.instant(
+                "job-completed",
+                job=job.job_id,
+                spec=job.spec_hash[:12],
+                steps=result.steps_completed,
+                from_cache=result.from_cache,
+            )
+            self.events.counter(
+                "svc.cache.hits", self.cache.stats().hits
+            )
+        job.finish(result)
+        self.scheduler.task_done(job)
+
+    # -- synchronous execution core (runs in an executor thread) -------
+    def _execute_sync(
+        self, job: Job, wid: int, publish: Callable[[dict[str, Any]], None]
+    ) -> str:
+        spec = job.spec
+        with maybe_span(
+            self.tracer,
+            f"job {job.job_id}",
+            category="job",
+            spec=job.spec_hash[:12],
+            tenant=job.tenant,
+            worker=wid,
+            resumed=job.checkpoint_path is not None,
+        ):
+            if spec.ranks > 1 or spec.faults:
+                result = self._run_supervised(job, publish)
+            else:
+                outcome = self._run_preemptible(job, publish)
+                if outcome == "preempted":
+                    return "preempted"
+                result = outcome
+        self.cache.put(f"result:{job.spec_hash}", result)
+        # completion bookkeeping runs on the loop thread for ordering
+        # with the subscribers' event queues
+        self._finish_from_thread(job, result)
+        return "completed"
+
+    def _finish_from_thread(self, job: Job, result: JobResult) -> None:
+        loop = job.future.get_loop()
+        loop.call_soon_threadsafe(self._complete, job, result)
+
+    def _run_preemptible(
+        self, job: Job, publish: Callable[[dict[str, Any]], None]
+    ) -> "JobResult | str":
+        """Step the plain driver, honouring the preemption flag."""
+        spec = job.spec
+        driver = self._build_driver(job)
+        schedule = driver.schedule()
+        with self._backend_scope(spec):
+            while driver.step_index < driver.config.n_steps:
+                if job.preempt_requested:
+                    self._checkpoint(job, driver)
+                    return "preempted"
+                a0 = float(schedule[driver.step_index])
+                a1 = float(schedule[driver.step_index + 1])
+                diag = driver.step(a0, a1)
+                job.steps_done = driver.step_index
+                publish(
+                    {
+                        "job": job.job_id,
+                        "step": driver.step_index - 1,
+                        "a": diag.a,
+                        "kinetic_energy": diag.kinetic_energy,
+                        "thermal_energy": diag.thermal_energy,
+                        "max_density_contrast": diag.max_density_contrast,
+                    }
+                )
+        return JobResult(
+            spec_hash=job.spec_hash,
+            products=self._products(driver, spec),
+            steps_completed=driver.step_index,
+            attempts=1 + job.preemptions,
+        )
+
+    def _run_supervised(
+        self, job: Job, publish: Callable[[dict[str, Any]], None]
+    ) -> JobResult:
+        """Run a faulted / multi-rank job under the resilience runner."""
+        from repro.resilience import FaultPlan, run_simulation
+
+        spec = job.spec
+        config = self._sim_config(spec)
+        fault_plan = (
+            FaultPlan.parse(spec.faults, seed=spec.seed) if spec.faults else None
+        )
+        with self._backend_scope(spec):
+            result = run_simulation(
+                config,
+                world_size=max(2, spec.ranks),
+                fault_plan=fault_plan,
+                checkpoint_dir=self._checkpoint_root / f"job-{job.job_id}",
+                degrade_policy=spec.degrade_policy,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+        job.steps_done = result.driver.step_index
+        for diag in result.driver.diagnostics:
+            publish(
+                {
+                    "job": job.job_id,
+                    "a": diag.a,
+                    "kinetic_energy": diag.kinetic_energy,
+                    "thermal_energy": diag.thermal_energy,
+                    "max_density_contrast": diag.max_density_contrast,
+                }
+            )
+        return JobResult(
+            spec_hash=job.spec_hash,
+            products=self._products(result.driver, spec),
+            steps_completed=result.driver.step_index,
+            attempts=len(result.attempts),
+            degraded=result.recovered or result.degraded,
+        )
+
+    # -- drivers, checkpoints, inputs ----------------------------------
+    @staticmethod
+    def _sim_config(spec: JobSpec) -> SimulationConfig:
+        return SimulationConfig(
+            n_per_side=spec.n_per_side,
+            pm_mesh=max(8, spec.n_per_side),
+            n_steps=spec.n_steps,
+            seed=spec.seed,
+        )
+
+    def _build_driver(self, job: Job) -> AdiabaticDriver:
+        if job.checkpoint_path is not None:
+            checkpoint = SimulationCheckpoint.load(job.checkpoint_path)
+            driver = checkpoint.restore_driver()
+            self.metrics.counter("svc.jobs.resumed").inc()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "job-resumed",
+                    category="service",
+                    job=job.job_id,
+                    step=checkpoint.step_index,
+                )
+        else:
+            config = self._sim_config(job.spec)
+            driver = AdiabaticDriver(config, particles=self._initial_load(config))
+        driver.tracer = self.tracer
+        driver.metrics = self.metrics
+        return driver
+
+    def _initial_load(self, config: SimulationConfig) -> ParticleData:
+        """The IC particle load, shared through the content cache.
+
+        The linear P(k) table (its sigma8 normalisation is a numeric
+        integral) is cached per cosmology (``tf:``); the generated
+        Zel'dovich load is cached per IC config (``ic:``) and deep-
+        copied out, since every driver mutates its particles.
+        """
+        cosmology = Cosmology()
+        power = self.cache.get_or_create(
+            f"tf:{config_hash(cosmology)}", lambda: PowerSpectrum(cosmology)
+        )
+        ic_config = config.ic_config()
+        arrays = self.cache.get_or_create(
+            f"ic:{ic_config.content_hash()}",
+            lambda: {
+                name: arr.copy()
+                for name, arr in zeldovich_ics(
+                    ic_config, cosmology, power
+                ).arrays.items()
+            },
+        )
+        return ParticleData(
+            box=ic_config.box,
+            arrays={name: arr.copy() for name, arr in arrays.items()},
+        )
+
+    def _checkpoint(self, job: Job, driver: AdiabaticDriver) -> None:
+        """Preemption = a real disk checkpoint through the manager."""
+        manager = CheckpointManager(
+            self._checkpoint_root / f"job-{job.job_id}", every=1, metrics=self.metrics
+        )
+        path = manager.save_now(driver)
+        job.checkpoint_path = path
+        job.state = JobState.PREEMPTED
+        if self.tracer is not None:
+            self.tracer.instant(
+                "job-preempt-checkpoint",
+                category="service",
+                job=job.job_id,
+                step=driver.step_index,
+                path=str(path),
+            )
+
+    def _backend_scope(self, spec: JobSpec):
+        """The requested array backend, serialised because dispatch is
+        process-global; an unavailable optional backend degrades to
+        the reference (same semantics as the CLI's ``--backend``)."""
+        from contextlib import contextmanager
+
+        from repro import xp
+
+        @contextmanager
+        def scope():
+            if spec.backend == xp.DEFAULT_BACKEND:
+                yield
+                return
+            with _BACKEND_LOCK:
+                try:
+                    ctx = xp.use_backend(spec.backend)
+                    ctx.__enter__()
+                except xp.BackendUnavailableError:
+                    self.metrics.counter("svc.jobs.backend_fallback").inc()
+                    yield
+                    return
+                try:
+                    yield
+                finally:
+                    ctx.__exit__(None, None, None)
+
+        return scope()
+
+    # -- products ------------------------------------------------------
+    def _products(self, driver: AdiabaticDriver, spec: JobSpec) -> dict[str, Any]:
+        products: dict[str, Any] = {}
+        p = driver.particles
+        for name in spec.products:
+            with maybe_span(self.tracer, f"product:{name}", category="analysis"):
+                if name == "diagnostics":
+                    diags = driver.diagnostics
+                    products[name] = {
+                        "a": np.array([d.a for d in diags]),
+                        "kinetic_energy": np.array(
+                            [d.kinetic_energy for d in diags]
+                        ),
+                        "thermal_energy": np.array(
+                            [d.thermal_energy for d in diags]
+                        ),
+                        "total_momentum": np.array(
+                            [d.total_momentum for d in diags]
+                        ),
+                        "max_density_contrast": np.array(
+                            [d.max_density_contrast for d in diags]
+                        ),
+                    }
+                elif name == "power_spectrum":
+                    measurement = measure_power_spectrum(
+                        p, n_mesh=max(8, spec.n_per_side)
+                    )
+                    products[name] = measurement.as_dict()
+                elif name == "halo_catalog":
+                    dm = p.select(p.species_mask(Species.DARK_MATTER))
+                    linking = 0.2 * p.box / spec.n_per_side
+                    catalog = fof(dm.positions, p.box, linking, min_members=8)
+                    products[name] = {
+                        "n_halos": catalog.n_halos,
+                        "sizes": catalog.sizes,
+                    }
+                elif name == "trace":
+                    by_kernel = driver.trace.by_kernel()
+                    products[name] = {
+                        "launches": len(driver.trace.invocations),
+                        "calls_by_kernel": {
+                            k: len(v) for k, v in sorted(by_kernel.items())
+                        },
+                        "total_interactions": driver.trace.total_interactions(),
+                    }
+        return products
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        return {
+            "jobs": [job.describe() for job in self.scheduler.jobs],
+            "queue_depth": self.scheduler.depth,
+            "running": len(self.scheduler.running),
+            "cache": self.cache.stats().as_dict(),
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+        }

@@ -1,0 +1,121 @@
+"""Follow-mode dashboard: tailing a growing JSONL event log.
+
+A writer thread plays the part of a live ``repro serve --events-out``
+process, appending records with flushes between them, while the
+follower reads concurrently — the real race the feature exists for.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+from repro.observability.dashboard import follow_dashboard, follow_events
+
+HEADER = {"kind": "header", "version": 1, "meta": {"title": "t"}}
+METRICS = {"kind": "metrics", "snapshot": {"counters": {}}}
+
+
+def _instant(i):
+    return {
+        "kind": "instant",
+        "name": f"job-{i}",
+        "category": "service",
+        "ts": float(i),
+        "pid": 0,
+        "args": {},
+    }
+
+
+def _write_slowly(path, records, delay=0.02):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            time.sleep(delay)
+
+
+class TestFollowEvents:
+    def test_tails_a_growing_file_to_the_metrics_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        records = [HEADER, _instant(0), _instant(1), _instant(2), METRICS]
+        writer = threading.Thread(target=_write_slowly, args=(path, records))
+        writer.start()
+        try:
+            seen = list(follow_events(path, poll=0.01))
+        finally:
+            writer.join()
+        assert [r["kind"] for r in seen] == [
+            "header",
+            "instant",
+            "instant",
+            "instant",
+            "metrics",
+        ]
+
+    def test_waits_for_the_file_to_appear(self, tmp_path):
+        path = tmp_path / "late.jsonl"
+
+        def create_later():
+            time.sleep(0.1)
+            _write_slowly(path, [HEADER, METRICS], delay=0)
+
+        writer = threading.Thread(target=create_later)
+        writer.start()
+        try:
+            seen = list(follow_events(path, poll=0.01))
+        finally:
+            writer.join()
+        assert len(seen) == 2
+
+    def test_duration_limit_stops_an_unfinished_log(self, tmp_path):
+        path = tmp_path / "stuck.jsonl"
+        _write_slowly(path, [HEADER, _instant(0)], delay=0)  # no metrics record
+        start = time.monotonic()
+        seen = list(follow_events(path, poll=0.01, duration=0.2))
+        assert time.monotonic() - start < 2.0
+        assert [r["kind"] for r in seen] == ["header", "instant"]
+
+    def test_partial_line_is_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        line = json.dumps(_instant(7)) + "\n"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(HEADER) + "\n")
+            handle.write(line[: len(line) // 2])  # torn mid-record
+            handle.flush()
+
+            def finish():
+                time.sleep(0.1)
+                handle.write(line[len(line) // 2 :])
+                handle.write(json.dumps(METRICS) + "\n")
+                handle.flush()
+
+            writer = threading.Thread(target=finish)
+            writer.start()
+            try:
+                seen = list(follow_events(path, poll=0.01))
+            finally:
+                writer.join()
+        assert [r["kind"] for r in seen] == ["header", "instant", "metrics"]
+        assert seen[1]["name"] == "job-7"
+
+
+class TestFollowDashboard:
+    def test_renders_live_and_returns_final_state(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        records = [HEADER, _instant(0), _instant(1), METRICS]
+        writer = threading.Thread(
+            target=_write_slowly, args=(path, records), kwargs={"delay": 0.01}
+        )
+        writer.start()
+        stream = io.StringIO()
+        try:
+            state = follow_dashboard(path, stream=stream, poll=0.01)
+        finally:
+            writer.join()
+        assert len(state.events) == 2
+        assert state.meta == {"title": "t"}
+        out = stream.getvalue()
+        assert "job-0" in out and "job-1" in out

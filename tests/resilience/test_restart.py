@@ -374,3 +374,47 @@ class TestBuddyStore:
         store.deposit(0, snapshot, (0, 1))
         assert store.own(0) is snapshot
         assert store.own(1) is None
+
+
+class TestConfigHashStamp:
+    """The canonical config hash recorded in every checkpoint."""
+
+    def _write_npz(self, path, payload):
+        from repro.hacc.checkpoint import payload_digest
+        from repro.resilience.restart import _KIND
+
+        np.savez_compressed(
+            path,
+            kind=_KIND,
+            version=SIM_FORMAT_VERSION,
+            checksum=payload_digest(payload),
+            **payload,
+        )
+
+    def test_saved_checkpoint_records_the_config_hash(self, checkpoint, tmp_path):
+        from repro.core.confighash import config_hash
+
+        path = checkpoint.save(tmp_path / "ck.npz")
+        with np.load(path) as data:
+            assert str(data["config_hash"]) == config_hash(checkpoint.config)
+        # and it loads back fine
+        assert SimulationCheckpoint.load(path).step_index == checkpoint.step_index
+
+    def test_pre_hash_files_still_load(self, checkpoint, tmp_path):
+        # files written before the hash was recorded carry the same
+        # format version and simply lack the key; absence is tolerated
+        payload = {
+            k: v for k, v in checkpoint._payload().items() if k != "config_hash"
+        }
+        path = tmp_path / "legacy.npz"
+        self._write_npz(path, payload)
+        loaded = SimulationCheckpoint.load(path)
+        assert loaded.step_index == checkpoint.step_index
+
+    def test_mismatched_hash_is_rejected(self, checkpoint, tmp_path):
+        payload = checkpoint._payload()
+        payload["config_hash"] = np.array("0" * 64, dtype=np.str_)
+        path = tmp_path / "crossed.npz"
+        self._write_npz(path, payload)
+        with pytest.raises(CheckpointError, match="config hash mismatch"):
+            SimulationCheckpoint.load(path)

@@ -24,6 +24,9 @@ class TestParser:
             "trace",
             "profile",
             "dashboard",
+            "serve",
+            "submit",
+            "jobs",
         }
 
     def test_missing_command_errors(self):
@@ -194,3 +197,28 @@ class TestTimeoutValidation:
     def test_resilient_simulate_rejects_nonpositive_timeout(self, capsys):
         assert main(["simulate", "--ranks", "2", "--timeout", "0"]) == 2
         assert "--timeout must be positive" in capsys.readouterr().out
+
+
+class TestServiceCli:
+    def test_submit_without_service_is_a_usage_error(self, tmp_path, capsys):
+        sock = str(tmp_path / "missing.sock")
+        assert main(["submit", "--socket", sock, "-n", "4"]) == 2
+        assert "no service listening" in capsys.readouterr().out
+
+    def test_jobs_without_service_is_a_usage_error(self, tmp_path, capsys):
+        sock = str(tmp_path / "missing.sock")
+        assert main(["jobs", "--socket", sock]) == 2
+        assert "no service listening" in capsys.readouterr().out
+
+    def test_dashboard_follow_rejects_bad_poll(self, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert main(["dashboard", events, "--follow", "--poll", "0"]) == 2
+        assert "--poll must be positive" in capsys.readouterr().out
+
+    def test_validate_unknown_backend_is_usage_error(self, capsys):
+        assert main(["validate", "--backend", "no-such"]) == 2
+        assert "unknown backend" in capsys.readouterr().out
+
+    def test_profile_unknown_backend_is_usage_error(self, capsys):
+        assert main(["profile", "Frontier", "--backend", "no-such"]) == 2
+        assert "unknown backend" in capsys.readouterr().out

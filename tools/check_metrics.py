@@ -42,7 +42,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
 
 #: top-level namespaces the registry's metric names live under
-METRIC_NAMESPACES = ("sim", "device", "mpi", "resilience", "checkpoint")
+METRIC_NAMESPACES = ("sim", "device", "mpi", "resilience", "checkpoint", "svc")
 
 #: begin/end markers the README glossary table sits between
 GLOSSARY_BEGIN = "<!-- metric-glossary:begin -->"

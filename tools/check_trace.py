@@ -1,12 +1,18 @@
 #!/usr/bin/env python
-"""Validate a Chrome-trace/Perfetto JSON file written by the repro
-observability layer.
+"""Validate a Chrome-trace/Perfetto JSON file — or a JSONL telemetry
+event log — written by the repro observability layer.
 
 Usage::
 
-    python tools/check_trace.py trace.json [trace2.json ...]
+    python tools/check_trace.py trace.json [events.jsonl ...]
 
-Checks, per file:
+The format is auto-detected: a file whose first line is a JSON object
+with a ``kind`` field is checked as an event log (the
+``write_event_log`` / ``repro serve --events-out`` JSONL schema — see
+:data:`EVENT_LOG_KINDS` and :func:`validate_event_log`); anything else
+is checked as a Chrome trace.
+
+Chrome-trace checks, per file:
 
 - the document is valid JSON with a ``traceEvents`` list and a
   ``displayTimeUnit`` of ``ms`` or ``ns``;
@@ -142,13 +148,107 @@ def validate_events(document) -> list[str]:
     return problems
 
 
+#: record kinds of the JSONL event-log schema, with their required
+#: (field, predicate) pairs
+EVENT_LOG_KINDS = {
+    "header": (("version", _is_int),),
+    "series": (
+        ("name", lambda v: isinstance(v, str) and v),
+        ("step", _is_int),
+        ("value", _is_number),
+    ),
+    "alert": (),
+    "instant": (
+        ("name", lambda v: isinstance(v, str) and v),
+        ("ts", _is_number),
+    ),
+    "counter": (
+        ("name", lambda v: isinstance(v, str) and v),
+        ("ts", _is_number),
+        ("value", _is_number),
+    ),
+    "span": (
+        ("name", lambda v: isinstance(v, str) and v),
+        ("start", _is_number),
+        ("duration", _is_number),
+    ),
+    "profile": (("kernel", lambda v: isinstance(v, str) and v),),
+    "metrics": (("snapshot", lambda v: isinstance(v, dict)),),
+}
+
+
+def validate_event_log(records) -> list[str]:
+    """Schema-check decoded JSONL event-log records; return problems.
+
+    Beyond per-record field checks, the log's framing is enforced: the
+    first record must be the ``header``, and a ``metrics`` snapshot —
+    the terminal record a live follower stops at — must be last.
+    """
+    problems: list[str] = []
+    records = list(records)
+    if not records:
+        return ["event log: empty"]
+    saw_metrics_at: int | None = None
+    for i, record in enumerate(records):
+        where = f"record #{i}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        kind = record.get("kind")
+        if kind not in EVENT_LOG_KINDS:
+            problems.append(f"{where}: unknown kind {kind!r}")
+            continue
+        if i == 0 and kind != "header":
+            problems.append(f"{where}: first record must be the header, got {kind!r}")
+        if i > 0 and kind == "header":
+            problems.append(f"{where}: duplicate header")
+        for fld, predicate in EVENT_LOG_KINDS[kind]:
+            if not predicate(record.get(fld)):
+                problems.append(f"{where}: {kind!r} record needs valid {fld!r}")
+        args = record.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object")
+        if saw_metrics_at is not None:
+            problems.append(
+                f"{where}: record after the terminal 'metrics' snapshot "
+                f"(#{saw_metrics_at})"
+            )
+            saw_metrics_at = None  # report once per offender
+        if kind == "metrics":
+            saw_metrics_at = i
+    return problems
+
+
+def _decode_event_log(text: str) -> list | None:
+    """The decoded records if ``text`` looks like a JSONL event log."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return None
+    try:
+        first = json.loads(lines[0])
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(first, dict) or "kind" not in first:
+        return None
+    records = []
+    for line in lines:
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            records.append({"kind": f"<unparseable: {exc}>"})
+    return records
+
+
 def validate_file(path: str | Path) -> list[str]:
-    """Validate one trace file; return the list of problems found."""
+    """Validate one trace or event-log file; return problems found."""
     path = Path(path)
     try:
         text = path.read_text()
     except OSError as exc:
         return [f"cannot read: {exc}"]
+    records = _decode_event_log(text)
+    if records is not None:
+        return validate_event_log(records)
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -156,10 +256,20 @@ def validate_file(path: str | Path) -> list[str]:
     return validate_events(document)
 
 
+def _count_events(path: str) -> int:
+    text = Path(path).read_text()
+    records = _decode_event_log(text)
+    if records is not None:
+        return len(records)
+    return len(json.loads(text)["traceEvents"])
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
-        print("usage: check_trace.py TRACE.json [TRACE.json ...]", file=sys.stderr)
+        print(
+            "usage: check_trace.py TRACE.json [EVENTS.jsonl ...]", file=sys.stderr
+        )
         return 2
     failed = False
     for name in argv:
@@ -169,8 +279,7 @@ def main(argv: list[str] | None = None) -> int:
             for problem in problems:
                 print(f"{name}: {problem}")
         else:
-            n = len(json.loads(Path(name).read_text())["traceEvents"])
-            print(f"{name}: OK ({n} events)")
+            print(f"{name}: OK ({_count_events(name)} events)")
     return 1 if failed else 0
 
 
